@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Live migration study: pre-copy rounds, dirty rates and downtime.
+
+Implements the paper's stated next step ("we will implement
+sophisticated live migration within the PiCloud, to enable the study of
+important Cloud resource management aspects in depth", §VI) and runs the
+classic characterisation: how do total migration time and downtime react
+to the container's page-dirtying rate, and what happens when the dirty
+rate exceeds the network's copy bandwidth?
+
+Run:  python examples/live_migration_study.py
+"""
+
+from repro import PiCloud, PiCloudConfig
+from repro.telemetry.stats import format_table
+from repro.virt.migration import live_migrate
+
+config = PiCloudConfig.small(racks=2, pis=2, start_monitoring=False,
+                             routing="shortest")
+cloud = PiCloud(config)
+cloud.boot()
+
+record = cloud.spawn_and_wait("webserver", name="mover", node_id="pi-r0-n0")
+container = cloud.container("mover")
+runtimes = {name: daemon.runtime for name, daemon in cloud.daemons.items()}
+
+rows = []
+destinations = ["pi-r1-n0", "pi-r0-n0"]  # ping-pong between hosts
+dirty_rates = [0.0, 100e3, 1e6, 5e6, 20e6]  # bytes/s; link is 12.5 MB/s
+
+for index, dirty_rate in enumerate(dirty_rates):
+    container.dirty_rate = dirty_rate
+    destination = runtimes[destinations[index % 2]]
+    done = live_migrate(container, destination)
+    cloud.run_for(3600.0)
+    report = done.value
+    rows.append([
+        f"{dirty_rate / 1e6:.2f} MB/s",
+        report.rounds,
+        f"{report.total_bytes / 1e6:.1f} MB",
+        f"{report.duration_s:.2f} s",
+        f"{report.downtime_s * 1e3:.2f} ms",
+        "yes" if report.converged else "NO (stop-and-copy)",
+    ])
+
+print("Pre-copy live migration of a 30 MiB container over a 100 Mb/s link:\n")
+print(format_table(
+    ["dirty rate", "rounds", "copied", "total time", "downtime", "converged"],
+    rows,
+))
+print("\n=> downtime stays in the milliseconds while pre-copy converges; "
+      "once the dirty rate beats the link (20 MB/s > 12.5 MB/s), the "
+      "algorithm falls back to a long stop-and-copy, exactly as on real "
+      "testbeds.")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""A Hadoop-style MapReduce job on the PiCloud (the paper's Fig. 3 stack).
+
+Spawns hadoop-worker containers through the pimaster, runs a job over a
+synthetic input, and reports the phase breakdown -- then repeats with
+rack-local placement to show how locality shrinks the shuffle phase,
+one of the placement questions §III motivates.
+
+Run:  python examples/mapreduce_on_picloud.py
+"""
+
+from repro import PiCloud, PiCloudConfig
+from repro.apps import MapReduceJob
+from repro.telemetry.stats import format_table
+from repro.units import mib
+
+config = PiCloudConfig.small(racks=2, pis=3, start_monitoring=False,
+                             routing="shortest")
+cloud = PiCloud(config)
+cloud.boot()
+
+
+def run_job(tag, nodes):
+    workers = []
+    for index, node in enumerate(nodes):
+        record = cloud.spawn_and_wait(
+            "hadoop-worker", name=f"{tag}-w{index}", node_id=node
+        )
+        workers.append(cloud.container(record.name))
+    job = MapReduceJob(workers, input_bytes=mib(64), split_bytes=mib(8),
+                       reducers=2)
+    done = job.run()
+    cloud.run_for(7200.0)
+    report = done.value
+    for worker in workers:
+        cloud.pimaster.destroy_container(worker.name)
+        cloud.run_for(120.0)
+    return report
+
+
+cross_rack = run_job("wide", ["pi-r0-n0", "pi-r0-n1", "pi-r1-n0", "pi-r1-n1"])
+same_rack = run_job("local", ["pi-r0-n0", "pi-r0-n1", "pi-r0-n2", "pi-r0-n0"])
+
+rows = []
+for label, report in (("cross-rack", cross_rack), ("rack-local", same_rack)):
+    rows.append([
+        label,
+        f"{report.read_s:.1f}s",
+        f"{report.map_s:.1f}s",
+        f"{report.shuffle_s:.1f}s",
+        f"{report.reduce_s:.1f}s",
+        f"{report.total_s:.1f}s",
+        f"{report.cross_host_shuffle_bytes / 1e6:.0f} MB",
+    ])
+
+print("64 MiB MapReduce on 4 hadoop-worker containers:\n")
+print(format_table(
+    ["placement", "read", "map", "shuffle", "reduce", "total", "net shuffle"],
+    rows,
+))
+print("\n=> map/reduce time is bounded by the 700 MHz ARM cores; shuffle "
+      "cost depends on where the pimaster placed the workers -- the "
+      "compute/placement coupling the paper's scale model exposes.")

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Peer-to-peer cloud management -- the §III 'radical departure', running.
+
+No pimaster involved: every Pi runs a gossip agent; spawn requests can
+enter at any node and are routed by consistent hashing to their ring
+owner.  We kill an owner mid-run and show the ring healing.
+
+Run:  python examples/p2p_management.py
+"""
+
+from repro import PiCloud, PiCloudConfig
+from repro.mgmt.p2p import P2P_PORT, P2pAgent
+from repro.mgmt.rest import RestClient
+from repro.units import mib
+from repro.virt.image import ContainerImage
+
+config = PiCloudConfig.small(racks=2, pis=3, start_monitoring=False,
+                             routing="shortest")
+cloud = PiCloud(config)
+cloud.boot()
+
+TINY = ContainerImage(name="app", version=1, rootfs_bytes=mib(1),
+                      idle_memory_bytes=mib(30))
+
+# Stand up the agents, seeded with one bootstrap peer.
+first = cloud.pimaster.node_ids()[0]
+seeds = [(first, cloud.pimaster.node_ip(first))]
+agents = {}
+for index, node in enumerate(cloud.pimaster.node_ids()):
+    agent = P2pAgent(
+        cloud.kernels[node], cloud.daemons[node].runtime,
+        container_subnet=f"10.{100 + index}.0.0/24",
+        seeds=seeds, gossip_interval_s=2.0, suspect_timeout_s=12.0,
+    )
+    agent.seed_image(TINY)
+    agents[node] = agent
+
+cloud.run_for(40.0)
+any_agent = agents[first]
+print(f"membership after 40s of gossip: "
+      f"{[m.node_id for m in any_agent.alive_members()]}")
+
+client = RestClient(cloud.kernels["pimaster"].netstack, timeout_s=120.0)
+
+
+def spawn(entry, name):
+    call = client.post(agents[entry].ip, P2P_PORT, "/p2p/spawn",
+                       body={"name": name, "image": "app:v1"})
+    cloud.run_until_signal(call, max_seconds=600.0)
+    response = call.value
+    print(f"  spawn {name!r} via {entry}: {response.status} "
+          f"-> placed on {response.body.get('node')}")
+    return response
+
+
+print("\ndecentralised spawns (any entry point):")
+spawn("pi-r0-n0", "web-a")
+spawn("pi-r1-n2", "web-b")
+spawn("pi-r0-n2", "web-c")
+
+victim = any_agent.owners_for("web-d")[0].node_id
+print(f"\nkilling {victim} (the ring owner of the next name)...")
+agents[victim].stop()
+cloud.fail_node(victim)
+cloud.run_for(60.0)
+
+entry = next(n for n in agents if n != victim)
+response = spawn(entry, "web-d")
+print(f"\n=> no single point of failure: 'web-d' re-hashed from the dead "
+      f"{victim} onto {response.body['node']} automatically.")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: build a PiCloud, spawn containers, look at the dashboard.
+
+This walks the full management chain of the paper's testbed: the
+pimaster picks a Pi (placement policy), pushes the container image over
+the fabric onto the node's SD card, grants a DHCP lease, starts the LXC
+container through the node's REST daemon, registers it in DNS -- then we
+point an HTTP load generator at it and read the Fig. 4 control panel.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import PiCloud, PiCloudConfig
+from repro.apps import HttpClientApp, HttpServerApp
+
+# A 2x3 cloud keeps the example snappy; swap in PiCloudConfig() for the
+# paper's full 4 racks x 14 Pis.
+config = PiCloudConfig.small(racks=2, pis=3, start_monitoring=True)
+cloud = PiCloud(config)
+cloud.boot()
+print(f"Booted {config.node_count} Raspberry Pis "
+      f"({cloud.describe()['topology']}, routing={config.routing})")
+
+# Spawn a web server and a database through the pimaster.
+web = cloud.spawn_and_wait("webserver", name="web-1")
+db = cloud.spawn_and_wait("database", name="db-1")
+print(f"web-1 placed on {web.node_id} at {web.ip} ({web.fqdn})")
+print(f"db-1  placed on {db.node_id} at {db.ip}")
+
+# Serve HTTP from inside the container, load it from another rack.
+server = HttpServerApp(cloud.container("web-1"))
+client = HttpClientApp(
+    cloud.kernels["pi-r1-n0"].netstack, web.ip, rng=random.Random(42)
+)
+run = client.run_closed_loop(workers=4, duration_s=30.0, think_time_s=0.1)
+cloud.run_for(120.0)
+summary = run.value
+print(f"\nHTTP load: {summary['completed']:.0f} requests, "
+      f"p50={summary['latency_p50'] * 1e3:.1f}ms "
+      f"p99={summary['latency_p99'] * 1e3:.1f}ms")
+
+# The Fig. 4 web control panel.
+print()
+print(cloud.dashboard().render())
+
+# Whole-cloud power, from the "single trailing power socket".
+print(f"\nTotal draw right now: {cloud.total_watts():.1f} W "
+      f"({cloud.energy_joules() / 3600:.2f} Wh since boot)")

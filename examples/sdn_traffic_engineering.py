@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""SDN traffic engineering on the OpenFlow aggregation layer.
+
+The paper makes the aggregation switches OpenFlow-enabled so "control
+logic [can] be dynamically defined and programmed in software" (§IV).
+This example pits three controller policies against the same elephant
+workload on the multi-root tree:
+
+* static shortest path (all flows pile onto one root),
+* per-flow ECMP hashing (spread, but blind to load),
+* least-congested path (global view, loads checked at setup time),
+
+and finally adds the Hedera-style elephant rerouter on top of the static
+baseline to show runtime repair.
+
+Run:  python examples/sdn_traffic_engineering.py
+"""
+
+from repro import PiCloud, PiCloudConfig
+from repro.netsim.sdn import ElephantRerouter
+from repro.units import mib
+
+
+def elephant_storm(cloud, flows=6, size=mib(20)):
+    """Launch parallel inter-rack elephants; return their transfers."""
+    transfers = []
+    for index in range(flows):
+        src = f"pi-r0-n{index % 3}"
+        dst = f"pi-r1-n{index % 3}"
+        transfers.append(cloud.network.transfer(
+            src, dst, size, flow_key=index, tag=f"elephant{index}"
+        ))
+    return transfers
+
+
+def run_mode(routing, with_rerouter=False):
+    config = PiCloudConfig.small(
+        racks=2, pis=3, routing=routing, start_monitoring=False,
+        sdn_match_granularity="flow",
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    rerouter = None
+    if with_rerouter:
+        rerouter = ElephantRerouter(
+            cloud.sim, cloud.network, cloud.controller,
+            interval=0.5, congestion_threshold=0.7, min_flow_bytes=mib(1),
+        )
+    transfers = elephant_storm(cloud)
+    cloud.run_for(600.0)
+    if rerouter is not None:
+        rerouter.stop()
+        cloud.run_for(1.0)
+    finish = max(t.completed_at for t in transfers)
+    roots_used = {t.path[2] for t in transfers if len(t.path) > 2}
+    label = routing + (" + elephant-rerouter" if with_rerouter else "")
+    reroutes = rerouter.reroutes if rerouter else 0
+    print(f"{label:35s} completion={finish:7.2f}s "
+          f"roots used={sorted(roots_used)} reroutes={reroutes}")
+    return finish
+
+
+print("6 x 20 MiB inter-rack elephants on the 2-root tree:\n")
+static = run_mode("sdn-shortest")
+ecmp = run_mode("sdn-ecmp")
+te = run_mode("sdn-least-congested")
+repaired = run_mode("sdn-shortest", with_rerouter=True)
+
+print(f"\nSpeedup over the static baseline: "
+      f"ECMP {static / ecmp:.2f}x, "
+      f"least-congested {static / te:.2f}x, "
+      f"rerouter {static / repaired:.2f}x")
+print("\n=> the centralised view (least-congested / rerouter) exploits "
+      "the multi-root redundancy that static routing wastes.")

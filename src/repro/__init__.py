@@ -1,0 +1,42 @@
+"""PiCloud: a discrete-event scale model of the Glasgow Raspberry Pi Cloud.
+
+This library reproduces the system described in *"The Glasgow Raspberry Pi
+Cloud: A Scale Model for Cloud Computing Infrastructures"* (Tso, White,
+Jouet, Singer, Pezaros -- CCRM workshop at ICDCS, 2013) as a fully
+simulated testbed: 56 Raspberry Pi nodes in 4 racks, a multi-root tree /
+fat-tree network with OpenFlow SDN, LXC-style containers, a ``pimaster``
+management plane (REST, DHCP, DNS, images, monitoring), cloud workloads
+(HTTP, key-value store, MapReduce), placement/consolidation/migration
+algorithms and power/cost instrumentation.
+
+Quickstart::
+
+    from repro import PiCloud, PiCloudConfig
+
+    cloud = PiCloud(PiCloudConfig())      # the paper's 4 racks x 14 Pis
+    cloud.boot()
+    vm = cloud.pimaster.spawn_container(image="webserver")
+    cloud.run_for(60.0)
+    print(cloud.dashboard().render())
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["PiCloud", "PiCloudConfig", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports keep ``import repro`` cheap and avoid importing the
+    # whole stack when callers only need one substrate package.
+    if name == "PiCloud":
+        from repro.core.cloud import PiCloud
+
+        return PiCloud
+    if name == "PiCloudConfig":
+        from repro.core.config import PiCloudConfig
+
+        return PiCloudConfig
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,46 @@
+"""Cloud application workloads: realistic traffic for the scale model.
+
+"As a development environment, it permits reproduction of actual traffic
+patterns with realistic Cloud applications" (§I) -- the paper names
+lightweight httpd servers, databases and Hadoop (Fig. 3, §IV).  These
+applications run *inside containers*: their CPU work goes through the
+container's cgroup on the host scheduler, and their traffic crosses the
+fabric from the container's bridged IP -- so the cross-layer couplings
+the paper argues for are intrinsic, not scripted.
+
+* :mod:`~repro.apps.traffic` -- arrival processes and flow-size
+  distributions (Poisson, Pareto mice/elephants, ON/OFF bursts).
+* :mod:`~repro.apps.http` -- a lighttpd-style server and closed/open-loop
+  HTTP clients with latency accounting.
+* :mod:`~repro.apps.kvstore` -- a key-value database with GET/PUT and
+  persistence writes to the SD card.
+* :mod:`~repro.apps.mapreduce` -- a Hadoop-style job: splits, map tasks,
+  an all-to-all shuffle over the fabric, reduce tasks.
+* :mod:`~repro.apps.threetier` -- the classic web -> app -> db service
+  chain with per-tier latency breakdown.
+"""
+
+from repro.apps.http import HttpClientApp, HttpServerApp
+from repro.apps.kvstore import KvClientApp, KeyValueStoreApp
+from repro.apps.mapreduce import MapReduceJob, MapReduceReport
+from repro.apps.threetier import ThreeTierService
+from repro.apps.traffic import (
+    OnOffTrafficSource,
+    dc_flow_size,
+    pareto_size,
+    poisson_wait,
+)
+
+__all__ = [
+    "HttpClientApp",
+    "HttpServerApp",
+    "KeyValueStoreApp",
+    "KvClientApp",
+    "MapReduceJob",
+    "MapReduceReport",
+    "OnOffTrafficSource",
+    "ThreeTierService",
+    "dc_flow_size",
+    "pareto_size",
+    "poisson_wait",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``       -- build the configured cloud and print its architecture.
+* ``table1``     -- regenerate the paper's Table I.
+* ``dashboard``  -- boot a cloud, spawn demo containers, print the Fig. 4
+  control panel.
+* ``storm``      -- run the inter-rack elephant storm under a routing mode
+  and report completion time (experiment C3's workload).
+
+All commands accept ``--racks`` / ``--pis`` / ``--routing`` / ``--seed``
+so paper-scale and toy runs use the same entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.cloud import PiCloud
+from repro.core.comparison import testbed_comparison
+from repro.core.config import ROUTING_MODES, PiCloudConfig
+from repro.core.experiments import elephant_storm
+from repro.telemetry.stats import format_table
+
+
+def _add_cloud_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--racks", type=int, default=4,
+                        help="number of racks (paper: 4)")
+    parser.add_argument("--pis", type=int, default=14,
+                        help="Pis per rack (paper: 14)")
+    parser.add_argument("--routing", choices=ROUTING_MODES,
+                        default="sdn-shortest", help="fabric control plane")
+    parser.add_argument("--seed", type=int, default=0, help="RNG master seed")
+
+
+def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
+    config = PiCloudConfig(
+        num_racks=args.racks, pis_per_rack=args.pis,
+        routing=args.routing, seed=args.seed,
+        start_monitoring=monitoring,
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    return cloud
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    cloud = _build_cloud(args)
+    description = cloud.describe()
+    rows = [[key, value] for key, value in sorted(description.items())]
+    print(format_table(["property", "value"], rows))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    comparison = testbed_comparison(count=args.count)
+    print(f"Table I: cost breakdown of a testbed consisting "
+          f"{args.count} servers\n")
+    print(format_table(
+        ["", "Server", "Power", "Needs Cooling?"],
+        [[row["testbed"], row["server"], row["power"], row["needs_cooling"]]
+         for row in comparison.table()],
+    ))
+    print(f"\ncapex ratio {comparison.cost_ratio:.1f}x | "
+          f"power ratio {comparison.power_ratio:.1f}x")
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    cloud = _build_cloud(args, monitoring=True)
+    for image, name in (("webserver", "web-1"), ("database", "db-1")):
+        signal = cloud.spawn(image, name=name)
+        cloud.run_until_signal(signal)
+        if not signal.ok:
+            print(f"spawn of {name} failed: {signal.exception}",
+                  file=sys.stderr)
+            return 1
+    cloud.run_for(args.runtime)
+    print(cloud.dashboard().render())
+    return 0
+
+
+def cmd_storm(args: argparse.Namespace) -> int:
+    if args.racks < 2:
+        print("storm needs at least 2 racks", file=sys.stderr)
+        return 2
+    cloud = _build_cloud(args)
+    result = elephant_storm(cloud, flows=args.flows,
+                            size_bytes=args.mb * 1e6)
+    print(format_table(
+        ["metric", "value"],
+        [["routing", args.routing],
+         ["flows", args.flows],
+         ["size each", f"{args.mb} MB"],
+         ["completion", f"{result['completion_s']:.2f} s"],
+         ["failed", result["failed"]],
+         ["aggregation roots used", ", ".join(result["roots_used"])],
+         ["mean throughput", f"{result['mean_throughput'] / 1e6:.2f} MB/s"]],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PiCloud: a scale model of the Glasgow Raspberry Pi Cloud",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="print the built architecture")
+    _add_cloud_arguments(info)
+    info.set_defaults(handler=cmd_info)
+
+    table1 = commands.add_parser("table1", help="regenerate the paper's Table I")
+    table1.add_argument("--count", type=int, default=56,
+                        help="machines per testbed (paper: 56)")
+    table1.set_defaults(handler=cmd_table1)
+
+    dashboard = commands.add_parser(
+        "dashboard", help="boot, spawn demo containers, print the panel"
+    )
+    _add_cloud_arguments(dashboard)
+    dashboard.add_argument("--runtime", type=float, default=30.0,
+                           help="simulated seconds to run before the snapshot")
+    dashboard.set_defaults(handler=cmd_dashboard)
+
+    storm = commands.add_parser(
+        "storm", help="inter-rack elephant storm (experiment C3 workload)"
+    )
+    _add_cloud_arguments(storm)
+    storm.add_argument("--flows", type=int, default=6)
+    storm.add_argument("--mb", type=float, default=10.0,
+                       help="size of each elephant in MB")
+    storm.set_defaults(handler=cmd_storm)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Top-level facade: assemble and drive a whole PiCloud.
+
+* :class:`~repro.core.config.PiCloudConfig` -- every knob of the testbed
+  (racks, machine model, topology, routing mode, SDN parameters, ...).
+  The default configuration is the paper's: 56 Raspberry Pi Model B
+  boards in 4 racks of 14, multi-root tree, OpenFlow aggregation.
+* :class:`~repro.core.cloud.PiCloud` -- builds machines, fabric, host
+  kernels, node daemons and the pimaster, and exposes the whole stack
+  behind a small API (`boot`, `spawn`, `run_for`, `dashboard`, ...).
+* :mod:`~repro.core.comparison` -- the x86-vs-Pi testbed comparison
+  (Table I) and whole-cloud claims checks.
+"""
+
+from repro.core.cloud import PiCloud
+from repro.core.comparison import testbed_comparison
+from repro.core.config import PiCloudConfig
+
+__all__ = ["PiCloud", "PiCloudConfig", "testbed_comparison"]

@@ -1,0 +1,285 @@
+"""The PiCloud facade: build and drive the whole testbed.
+
+Construction wires every layer together: machines in Lego racks, the
+multi-root tree (or fat-tree) fabric with the configured routing mode,
+per-host kernels and LXC runtimes, node daemons, and the pimaster with
+DHCP/DNS/images/monitoring.  After :meth:`boot`, the cloud is the paper's
+Fig. 1/2 system in software::
+
+    cloud = PiCloud(PiCloudConfig())        # 4 racks x 14 Model B
+    cloud.boot()
+    record = cloud.spawn("webserver")       # placed, pushed, leased, started
+    cloud.run_for(60.0)
+    print(cloud.dashboard().render())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import PiCloudConfig
+from repro.errors import PiCloudError
+from repro.hardware.machine import Machine
+from repro.hostos.kernelhost import HostKernel
+from repro.hostos.netstack import IpFabric
+from repro.mgmt.dashboard import Dashboard
+from repro.mgmt.node_daemon import NodeDaemon
+from repro.mgmt.pimaster import PiMaster
+from repro.netsim.fabric import Network
+from repro.netsim.routing import EcmpRouting, ShortestPathRouting
+from repro.netsim.sdn.apps import (
+    EcmpHashApp,
+    LeastCongestedPathApp,
+    ShortestPathApp,
+)
+from repro.netsim.sdn.controller import OpenFlowPathService, SdnController
+from repro.netsim.topology import fat_tree, multi_root_tree, rack_host_names
+from repro.power.meter import CloudPowerMeter
+from repro.sim.kernel import Simulator
+from repro.sim.process import AllOf, Signal
+from repro.sim.rng import RngRegistry
+from repro.virt.container import Container
+
+PIMASTER_NODE = "pimaster"
+# Static assignment for the head node, reserved out of the DHCP pool.
+PIMASTER_IP_SUFFIX = 1
+
+
+class PiCloud:
+    """The assembled testbed."""
+
+    def __init__(self, config: Optional[PiCloudConfig] = None) -> None:
+        self.config = config or PiCloudConfig()
+        self.sim = Simulator()
+        self.rng = RngRegistry(self.config.seed)
+
+        # -- topology -----------------------------------------------------
+        racks = rack_host_names(self.config.num_racks, self.config.pis_per_rack)
+        self.node_names = [name for rack in racks for name in rack]
+        if self.config.topology == "multi-root-tree":
+            self.topology = multi_root_tree(
+                racks,
+                num_roots=self.config.num_roots,
+                host_bandwidth=self.config.host_bandwidth,
+                uplink_bandwidth=self.config.uplink_bandwidth,
+                gateway_bandwidth=self.config.uplink_bandwidth,
+                latency=self.config.link_latency,
+            )
+            attach_point = "gateway"
+        else:
+            self.topology = fat_tree(
+                self.config.fat_tree_k,
+                hosts=self.node_names,
+                host_bandwidth=self.config.host_bandwidth,
+                fabric_bandwidth=self.config.uplink_bandwidth,
+                latency=self.config.link_latency,
+            )
+            attach_point = "core0"
+        # The pimaster hangs off the gateway / a core switch.
+        self.topology.add_host(PIMASTER_NODE)
+        self.topology.connect(
+            PIMASTER_NODE, attach_point,
+            self.config.uplink_bandwidth, self.config.link_latency,
+        )
+
+        # -- routing / SDN ---------------------------------------------------
+        self.controller: Optional[SdnController] = None
+        routing = self.config.routing
+        if routing == "shortest":
+            path_service = ShortestPathRouting(self.sim, self.topology)
+        elif routing == "ecmp":
+            path_service = EcmpRouting(self.sim, self.topology)
+        else:
+            app = {
+                "sdn-shortest": ShortestPathApp(),
+                "sdn-ecmp": EcmpHashApp(),
+                "sdn-least-congested": LeastCongestedPathApp(),
+            }[routing]
+            self.controller = SdnController(self.sim, self.topology, app)
+            path_service = OpenFlowPathService(
+                self.sim,
+                self.controller,
+                idle_timeout=self.config.sdn_idle_timeout_s,
+                control_latency=self.config.sdn_control_latency_s,
+                match_granularity=self.config.sdn_match_granularity,
+            )
+        self.network = Network(
+            self.sim, self.topology, path_service=path_service,
+            congestion_threshold=self.config.congestion_threshold,
+        )
+        if self.controller is not None:
+            self.controller.attach_network(self.network)
+        self.ip_fabric = IpFabric(self.sim, self.network)
+
+        # -- machines -----------------------------------------------------------
+        self.machines: Dict[str, Machine] = {}
+        for rack_index, rack in enumerate(racks):
+            for slot, name in enumerate(rack):
+                self.machines[name] = Machine(
+                    self.sim, self.config.machine_spec, name,
+                    rack=f"rack{rack_index}", slot=slot,
+                )
+        self.machines[PIMASTER_NODE] = Machine(
+            self.sim, self.config.pimaster_spec, PIMASTER_NODE, rack=None
+        )
+
+        # Populated by boot():
+        self.kernels: Dict[str, HostKernel] = {}
+        self.daemons: Dict[str, NodeDaemon] = {}
+        self.pimaster: Optional[PiMaster] = None
+        self.power_meter = CloudPowerMeter(self.machines.values())
+        self._booted = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Power on every machine and bring up the management plane.
+
+        With ``instant_boot`` (default) this is synchronous; otherwise it
+        schedules timed boots and you must ``run()`` the simulator first
+        (use :meth:`boot_async`).
+        """
+        if self._booted:
+            raise PiCloudError("cloud already booted")
+        if not self.config.instant_boot:
+            raise PiCloudError("config has instant_boot=False; use boot_async()")
+        for machine in self.machines.values():
+            machine.boot_immediately()
+        self._bring_up_management()
+
+    def boot_async(self) -> Signal:
+        """Timed boot: machines come up after their spec boot time."""
+        if self._booted:
+            raise PiCloudError("cloud already booted")
+        signals = [machine.boot() for machine in self.machines.values()]
+        done = Signal(self.sim, name="cloud.boot")
+
+        def run():
+            yield AllOf(self.sim, signals)
+            self._bring_up_management()
+            done.succeed(self)
+
+        self.sim.process(run(), name="cloud.boot")
+        return done
+
+    def _bring_up_management(self) -> None:
+        # Host kernels everywhere.
+        for name, machine in self.machines.items():
+            self.kernels[name] = HostKernel(self.sim, machine, self.ip_fabric)
+
+        # The pimaster and its services.
+        self.pimaster = PiMaster(
+            self.kernels[PIMASTER_NODE],
+            subnet=self.config.subnet,
+            zone=self.config.dns_zone,
+            monitoring_interval_s=self.config.monitoring_interval_s,
+        )
+        pool = self.pimaster.dhcp.pool
+        pimaster_ip = pool.allocate()
+        self.kernels[PIMASTER_NODE].netstack.bind_address(pimaster_ip)
+
+        # Node daemons, with static (infinite-TTL) management leases.
+        for name in self.node_names:
+            lease = self.pimaster.dhcp.request_lease(
+                client_id=name, hostname=name, ttl_s=float("inf")
+            )
+            self.kernels[name].netstack.bind_address(lease.ip)
+            daemon = NodeDaemon(self.kernels[name])
+            self.daemons[name] = daemon
+            self.pimaster.register_node(daemon, lease.ip)
+
+        if self.config.start_monitoring:
+            self.pimaster.monitoring.start()
+        self._booted = True
+
+    def _require_booted(self) -> None:
+        if not self._booted:
+            raise PiCloudError("cloud not booted; call boot() first")
+
+    # -- driving the simulation -------------------------------------------------------
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulated clock by ``seconds``."""
+        self.sim.run(until=self.sim.now + seconds)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    # -- convenience passthroughs ----------------------------------------------------------
+
+    def spawn(self, image: str, **kwargs) -> Signal:
+        """Spawn a container through the pimaster (see PiMaster.spawn_container)."""
+        self._require_booted()
+        return self.pimaster.spawn_container(image, **kwargs)
+
+    def spawn_and_wait(self, image: str, **kwargs):
+        """Spawn and block (runs the simulator) until placement completes."""
+        signal = self.spawn(image, **kwargs)
+        self.run_until_signal(signal)
+        return signal.value  # raises if the spawn failed
+
+    def run_until_signal(self, signal: Signal, max_seconds: float = 86_400.0) -> None:
+        """Step the simulator until ``signal`` triggers (or the cap hits).
+
+        Unlike ``run_for``, this stops the moment the signal fires, so
+        periodic background work (monitoring polls) does not needlessly
+        extend the run.
+        """
+        deadline = self.sim.now + max_seconds
+        while not signal.triggered and self.sim.now < deadline:
+            if not self.sim.step():
+                break
+
+    def container(self, name: str) -> Container:
+        """The live container object for a managed container name."""
+        self._require_booted()
+        record = self.pimaster.container_record(name)
+        return self.daemons[record.node_id].runtime.container(name)
+
+    def dashboard(self) -> Dashboard:
+        self._require_booted()
+        return self.pimaster.dashboard()
+
+    def rack_inventory(self) -> dict[str, list[str]]:
+        """Rack -> machines, the Fig. 1 physical inventory."""
+        return self.topology.racks()
+
+    # -- failure injection ----------------------------------------------------------------
+
+    def fail_node(self, node_id: str) -> None:
+        """Hard-fail a Pi: machine dies, its daemon stops serving."""
+        self._require_booted()
+        machine = self.machines[node_id]
+        machine.fail()
+        daemon = self.daemons.get(node_id)
+        if daemon is not None:
+            daemon.server.stop()
+
+    def fail_link(self, a: str, b: str) -> None:
+        self.network.fail_link(a, b)
+
+    def repair_link(self, a: str, b: str) -> None:
+        self.network.repair_link(a, b)
+
+    # -- measurements ------------------------------------------------------------------------
+
+    def total_watts(self) -> float:
+        return self.power_meter.current_watts()
+
+    def energy_joules(self, start: Optional[float] = None,
+                      end: Optional[float] = None) -> float:
+        return self.power_meter.energy_joules(start, end)
+
+    def describe(self) -> dict[str, object]:
+        """Architecture summary (the Fig. 2 reproduction)."""
+        shape = self.topology.describe()
+        return {
+            "machines": len(self.machines),
+            "pis": len(self.node_names),
+            "racks": self.config.num_racks,
+            "pis_per_rack": self.config.pis_per_rack,
+            "topology": self.config.topology,
+            "routing": self.config.routing,
+            "sdn_enabled": self.controller is not None,
+            **{f"net_{k}": v for k, v in shape.items()},
+        }

@@ -1,0 +1,102 @@
+"""Configuration for a PiCloud build.
+
+The defaults reproduce the paper's testbed exactly: 4 racks x 14
+Raspberry Pi Model B boards (56 total), a canonical multi-root tree with
+two OpenFlow-enabled aggregation switches and a gateway/border router,
+100 Mb/s host links, and a pimaster head node hanging off the gateway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PiCloudError
+from repro.hardware.catalog import (
+    RASPBERRY_PI_MODEL_B,
+    RASPBERRY_PI_MODEL_B_512,
+    SPEC_CATALOG,
+)
+from repro.hardware.specs import MachineSpec
+from repro.units import gbit_per_s, mbit_per_s, usec
+
+ROUTING_MODES = (
+    "shortest",             # static single shortest path (non-SDN baseline)
+    "ecmp",                 # static per-flow ECMP hashing (non-SDN)
+    "sdn-shortest",         # OpenFlow reactive, shortest-path app
+    "sdn-ecmp",             # OpenFlow reactive, ECMP app (per-flow rules)
+    "sdn-least-congested",  # OpenFlow reactive, global-view TE app
+)
+
+TOPOLOGY_KINDS = ("multi-root-tree", "fat-tree")
+
+
+@dataclass
+class PiCloudConfig:
+    """All the knobs.  Defaults = the paper's 56-Pi deployment."""
+
+    # -- machines ---------------------------------------------------------
+    num_racks: int = 4
+    pis_per_rack: int = 14
+    machine_spec: MachineSpec = RASPBERRY_PI_MODEL_B
+    pimaster_spec: MachineSpec = RASPBERRY_PI_MODEL_B_512
+    instant_boot: bool = True
+
+    # -- network -------------------------------------------------------------
+    topology: str = "multi-root-tree"
+    num_roots: int = 2               # aggregation roots (multi-root tree)
+    fat_tree_k: int = 4              # arity when topology == "fat-tree"
+    host_bandwidth: float = mbit_per_s(100)
+    uplink_bandwidth: float = gbit_per_s(1)
+    link_latency: float = usec(50)
+    routing: str = "sdn-shortest"
+    sdn_idle_timeout_s: float = 60.0
+    sdn_control_latency_s: float = 1e-3
+    sdn_match_granularity: str = "pair"
+    congestion_threshold: float = 0.9
+
+    # -- management --------------------------------------------------------------
+    subnet: str = "10.0.0.0/16"
+    dns_zone: str = "picloud.dcs.gla.ac.uk"
+    monitoring_interval_s: float = 5.0
+    start_monitoring: bool = True
+
+    # -- reproducibility --------------------------------------------------------------
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_racks < 1 or self.pis_per_rack < 1:
+            raise PiCloudError("need at least one rack with one Pi")
+        if self.topology not in TOPOLOGY_KINDS:
+            raise PiCloudError(
+                f"unknown topology {self.topology!r}; use one of {TOPOLOGY_KINDS}"
+            )
+        if self.routing not in ROUTING_MODES:
+            raise PiCloudError(
+                f"unknown routing {self.routing!r}; use one of {ROUTING_MODES}"
+            )
+        if self.topology == "fat-tree":
+            capacity = self.fat_tree_k ** 3 // 4
+            if self.node_count > capacity:
+                raise PiCloudError(
+                    f"fat-tree k={self.fat_tree_k} holds {capacity} hosts; "
+                    f"config asks for {self.node_count}"
+                )
+
+    @property
+    def node_count(self) -> int:
+        return self.num_racks * self.pis_per_rack
+
+    @classmethod
+    def paper_testbed(cls) -> "PiCloudConfig":
+        """The exact published deployment (also the default constructor)."""
+        return cls()
+
+    @classmethod
+    def small(cls, racks: int = 2, pis: int = 3, **overrides) -> "PiCloudConfig":
+        """A small cloud for tests and quick experiments."""
+        return cls(num_racks=racks, pis_per_rack=pis, **overrides)
+
+    @classmethod
+    def with_spec(cls, spec_name: str, **overrides) -> "PiCloudConfig":
+        """Build around a named catalog spec (e.g. the 512 MB Model B)."""
+        return cls(machine_spec=SPEC_CATALOG[spec_name], **overrides)

@@ -1,0 +1,143 @@
+"""Reusable experiment scenarios for the PiCloud.
+
+The benchmark suite reproduces the paper's artefacts; this module packages
+the same scenario machinery as a public API, so downstream users can run
+parameterised studies without copying bench internals::
+
+    from repro.core.experiments import (
+        http_load_experiment, elephant_storm, chatty_pairs,
+    )
+
+Each scenario takes a booted :class:`~repro.core.cloud.PiCloud`, drives
+it, and returns a plain-dict result row -- ready for tabulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.http import HttpClientApp, HttpServerApp
+from repro.apps.traffic import OnOffTrafficSource
+from repro.core.cloud import PiCloud
+from repro.units import kib, mib
+
+
+def http_load_experiment(
+    cloud: PiCloud,
+    server_node: str,
+    client_node: str,
+    workers: int = 4,
+    duration_s: float = 30.0,
+    response_bytes: int = kib(16),
+    think_time_s: float = 0.1,
+    seed: int = 0,
+    name: str = "http-exp",
+) -> Dict[str, float]:
+    """Closed-loop HTTP against a freshly-spawned webserver container.
+
+    Returns completed count, error count and latency percentiles.
+    """
+    record = cloud.spawn_and_wait("webserver", name=name, node_id=server_node)
+    server = HttpServerApp(cloud.container(name),
+                           default_response_bytes=response_bytes)
+    client = HttpClientApp(
+        cloud.kernels[client_node].netstack, record.ip,
+        response_bytes=response_bytes, rng=random.Random(seed),
+    )
+    run = client.run_closed_loop(workers=workers, duration_s=duration_s,
+                                 think_time_s=think_time_s)
+    cloud.run_until_signal(run)
+    server.stop()
+    summary = run.value
+    summary["throughput_rps"] = summary["completed"] / duration_s
+    return summary
+
+
+def elephant_storm(
+    cloud: PiCloud,
+    flows: int = 6,
+    size_bytes: float = mib(10),
+    src_rack: int = 0,
+    dst_rack: int = 1,
+) -> Dict[str, object]:
+    """Parallel inter-rack elephants; returns completion time and paths.
+
+    The canonical C3 workload: exposes how the routing mode uses (or
+    wastes) the multi-root redundancy.
+    """
+    racks = cloud.rack_inventory()
+    src_hosts = racks[f"rack{src_rack}"]
+    dst_hosts = racks[f"rack{dst_rack}"]
+    transfers = []
+    for index in range(flows):
+        transfers.append(cloud.network.transfer(
+            src_hosts[index % len(src_hosts)],
+            dst_hosts[index % len(dst_hosts)],
+            size_bytes, flow_key=index, tag=f"elephant{index}",
+        ))
+    cloud.run_for(24 * 3600.0)
+    assert all(t.done.triggered for t in transfers), "storm did not finish"
+    failed = [t for t in transfers if not t.done.ok]
+    completed = [t for t in transfers if t.done.ok]
+    return {
+        "completion_s": max((t.completed_at for t in completed), default=0.0),
+        "failed": len(failed),
+        "roots_used": sorted({t.path[2] for t in completed if len(t.path) > 2}),
+        "mean_throughput": (
+            sum(t.throughput for t in completed) / len(completed)
+            if completed else 0.0
+        ),
+    }
+
+
+def chatty_pairs(
+    cloud: PiCloud,
+    pairs: Sequence[tuple],
+    message_bytes: int = kib(256),
+    rate_per_s: float = 15.0,
+    on_mean_s: float = 2.0,
+    off_mean_s: float = 0.5,
+    seed: int = 17,
+    port: int = 9000,
+) -> List[OnOffTrafficSource]:
+    """Wire ON/OFF senders between container pairs ``(src_name, dst_name)``.
+
+    Containers must already be running.  Returns the sources (call
+    ``stop()`` to end the chatter).
+    """
+    rng = random.Random(seed)
+    sources = []
+    for src_name, dst_name in pairs:
+        src = cloud.container(src_name)
+        dst = cloud.container(dst_name)
+        dst.listen(port)
+
+        def make_send(s=src, ip=dst.ip):
+            return lambda: s.send(ip, port, "chunk", size=message_bytes)
+
+        sources.append(OnOffTrafficSource(
+            cloud.sim, rng, make_send(),
+            on_mean_s=on_mean_s, off_mean_s=off_mean_s, rate_per_s=rate_per_s,
+        ))
+    return sources
+
+
+def congestion_totals(cloud: PiCloud) -> Dict[str, float]:
+    """Aggregate congestion picture of the fabric right now."""
+    rows = cloud.network.congestion_report()
+    return {
+        "congested_link_seconds": sum(r["congested_s"] for r in rows),
+        "congestion_episodes": sum(r["episodes"] for r in rows),
+        "worst_direction": rows[0]["direction"] if rows else "",
+        "worst_mean_util": rows[0]["mean_util"] if rows else 0.0,
+    }
+
+
+def power_snapshot(cloud: PiCloud) -> Dict[str, float]:
+    """Power picture: current draw, energy so far, machines on."""
+    return {
+        "watts": cloud.total_watts(),
+        "joules": cloud.energy_joules(),
+        "machines_on": sum(1 for m in cloud.machines.values() if m.is_on),
+    }

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the PiCloud model.
+
+All library-raised exceptions derive from :class:`PiCloudError` so callers
+can catch the whole family with one clause while still discriminating on
+the specific failure (out of memory, no route, placement failure, ...).
+"""
+
+from __future__ import annotations
+
+
+class PiCloudError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(PiCloudError):
+    """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
+
+
+class HardwareError(PiCloudError):
+    """Base class for hardware-model failures."""
+
+
+class OutOfMemoryError(HardwareError):
+    """A memory allocation exceeded the machine's (or cgroup's) capacity."""
+
+
+class StorageFullError(HardwareError):
+    """A write exceeded the SD card / disk capacity."""
+
+
+class PowerStateError(HardwareError):
+    """Operation attempted on a machine in the wrong power state."""
+
+
+class NetworkError(PiCloudError):
+    """Base class for network-substrate failures."""
+
+
+class NoRouteError(NetworkError):
+    """No path exists between two endpoints in the current topology."""
+
+
+class AddressError(NetworkError):
+    """Address pool exhaustion, duplicate assignment, or parse failure."""
+
+
+class ConnectionRefusedError(NetworkError):
+    """No socket is listening on the destination (host, port)."""
+
+
+class ConnectionResetError(NetworkError):
+    """The peer closed or the host failed mid-transfer."""
+
+
+class VirtualisationError(PiCloudError):
+    """Base class for container / LXC layer failures."""
+
+
+class ContainerStateError(VirtualisationError):
+    """Lifecycle operation invalid for the container's current state."""
+
+
+class ImageError(VirtualisationError):
+    """Missing, corrupt, or oversized container image."""
+
+
+class MigrationError(VirtualisationError):
+    """Live migration could not complete (e.g. dirty rate exceeds bandwidth)."""
+
+
+class ManagementError(PiCloudError):
+    """Base class for management-plane failures."""
+
+
+class RestError(ManagementError):
+    """A REST call returned a non-success status."""
+
+    def __init__(self, status: int, message: str = "") -> None:
+        super().__init__(f"HTTP {status}: {message}" if message else f"HTTP {status}")
+        self.status = status
+        self.message = message
+
+
+class LeaseError(ManagementError):
+    """DHCP pool exhausted or lease conflict."""
+
+
+class NameError_(ManagementError):
+    """DNS name not found or already registered."""
+
+
+class PlacementError(PiCloudError):
+    """No node can satisfy a placement request under the active policy."""
+
+
+class SchedulingError(PiCloudError):
+    """Host CPU scheduler misuse (unknown task, negative work, ...)."""

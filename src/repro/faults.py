@@ -1,0 +1,216 @@
+"""Failure injection: scheduled and stochastic faults for the testbed.
+
+The paper motivates the PiCloud partly with the unpredictability of real
+DC behaviour (§I cites Gill et al.'s study of DC *failures*), and a
+physical testbed's virtue is that failures have consequences at every
+layer.  This module drives those consequences:
+
+* :class:`FaultSchedule` -- deterministic scripted faults ("kill pi-r2-n7
+  at t=300, cut tor0-agg1 at t=450, repair at t=600").
+* :class:`MtbfFaultInjector` -- stochastic node/link failures with
+  exponential time-between-failures and repair times, from a seeded
+  stream, for availability experiments.
+
+Both record a full event log for post-hoc analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional, Tuple
+
+from repro.core.cloud import PiCloud
+from repro.sim.process import Timeout
+
+FaultKind = Literal["node-fail", "node-repair", "link-fail", "link-repair"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry in a fault log."""
+
+    time: float
+    kind: FaultKind
+    target: str
+
+
+@dataclass
+class FaultSchedule:
+    """Scripted fault injection against a booted cloud.
+
+    Build the script with :meth:`fail_node` / :meth:`cut_link` /
+    :meth:`repair_link` / :meth:`repair_node`, then :meth:`arm`.
+    """
+
+    cloud: PiCloud
+    log: List[FaultEvent] = field(default_factory=list)
+    _armed: bool = False
+    _script: List[Tuple[float, FaultKind, str]] = field(default_factory=list)
+
+    def fail_node(self, at: float, node_id: str) -> "FaultSchedule":
+        self._script.append((at, "node-fail", node_id))
+        return self
+
+    def repair_node(self, at: float, node_id: str) -> "FaultSchedule":
+        self._script.append((at, "node-repair", node_id))
+        return self
+
+    def cut_link(self, at: float, a: str, b: str) -> "FaultSchedule":
+        self._script.append((at, "link-fail", f"{a}|{b}"))
+        return self
+
+    def repair_link(self, at: float, a: str, b: str) -> "FaultSchedule":
+        self._script.append((at, "link-repair", f"{a}|{b}"))
+        return self
+
+    def arm(self) -> None:
+        """Schedule every scripted fault.  Idempotent-guarded."""
+        if self._armed:
+            raise RuntimeError("fault schedule already armed")
+        self._armed = True
+        for at, kind, target in sorted(self._script):
+            self.cloud.sim.schedule_at(at, self._fire, kind, target)
+
+    def _fire(self, kind: FaultKind, target: str) -> None:
+        if kind == "node-fail":
+            self.cloud.fail_node(target)
+        elif kind == "node-repair":
+            machine = self.cloud.machines[target]
+            machine.repair()
+            machine.boot_immediately()
+        elif kind == "link-fail":
+            a, b = target.split("|")
+            self.cloud.fail_link(a, b)
+        elif kind == "link-repair":
+            a, b = target.split("|")
+            self.cloud.repair_link(a, b)
+        self.log.append(FaultEvent(self.cloud.sim.now, kind, target))
+
+
+class MtbfFaultInjector:
+    """Stochastic fault process: exponential MTBF / MTTR per target class.
+
+    Targets are sampled uniformly from the cloud's Pis (``node_mtbf_s``)
+    and fabric links (``link_mtbf_s``); each failure schedules its own
+    repair after an exponential MTTR.  Node repairs reboot the machine;
+    the management plane's daemons are *not* resurrected (a re-imaged
+    node needs re-registration), matching operational reality -- so use
+    link faults for long availability runs and node faults for
+    crash-impact studies.
+    """
+
+    def __init__(
+        self,
+        cloud: PiCloud,
+        rng: Optional[random.Random] = None,
+        node_mtbf_s: Optional[float] = None,
+        link_mtbf_s: Optional[float] = None,
+        mttr_s: float = 120.0,
+        duration_s: Optional[float] = None,
+    ) -> None:
+        if node_mtbf_s is None and link_mtbf_s is None:
+            raise ValueError("enable at least one of node/link failures")
+        for value in (node_mtbf_s, link_mtbf_s):
+            if value is not None and value <= 0:
+                raise ValueError("MTBF must be positive")
+        if mttr_s <= 0:
+            raise ValueError("MTTR must be positive")
+        self.cloud = cloud
+        self.rng = rng or random.Random(0)
+        self.node_mtbf_s = node_mtbf_s
+        self.link_mtbf_s = link_mtbf_s
+        self.mttr_s = mttr_s
+        self.duration_s = duration_s
+        self.log: List[FaultEvent] = []
+        self._stopped = False
+        self._processes = []
+        if node_mtbf_s is not None:
+            self._processes.append(
+                cloud.sim.process(self._node_loop(), name="faults.nodes")
+            )
+        if link_mtbf_s is not None:
+            self._processes.append(
+                cloud.sim.process(self._link_loop(), name="faults.links")
+            )
+
+    def stop(self) -> None:
+        self._stopped = True
+        for process in self._processes:
+            process.interrupt("fault injector stopped")
+
+    def _deadline(self) -> Optional[float]:
+        if self.duration_s is None:
+            return None
+        return self.cloud.sim.now + self.duration_s
+
+    def _node_loop(self):
+        deadline = self._deadline()
+        sim = self.cloud.sim
+        while not self._stopped:
+            yield Timeout(sim, self.rng.expovariate(1.0 / self.node_mtbf_s))
+            if deadline is not None and sim.now >= deadline:
+                return
+            candidates = [
+                n for n in self.cloud.node_names if self.cloud.machines[n].is_on
+            ]
+            if not candidates:
+                continue
+            victim = self.rng.choice(candidates)
+            self.cloud.fail_node(victim)
+            self.log.append(FaultEvent(sim.now, "node-fail", victim))
+            sim.schedule(
+                self.rng.expovariate(1.0 / self.mttr_s), self._repair_node, victim
+            )
+
+    def _repair_node(self, node_id: str) -> None:
+        machine = self.cloud.machines[node_id]
+        if machine.state.value != "failed":
+            return
+        machine.repair()
+        machine.boot_immediately()
+        self.log.append(FaultEvent(self.cloud.sim.now, "node-repair", node_id))
+
+    def _link_loop(self):
+        deadline = self._deadline()
+        sim = self.cloud.sim
+        links = [link.endpoints for link in self.cloud.network.links()]
+        while not self._stopped:
+            yield Timeout(sim, self.rng.expovariate(1.0 / self.link_mtbf_s))
+            if deadline is not None and sim.now >= deadline:
+                return
+            up = [e for e in links if self.cloud.network.link(*e).up]
+            if not up:
+                continue
+            a, b = self.rng.choice(up)
+            self.cloud.fail_link(a, b)
+            self.log.append(FaultEvent(sim.now, "link-fail", f"{a}|{b}"))
+            sim.schedule(
+                self.rng.expovariate(1.0 / self.mttr_s), self._repair_link, a, b
+            )
+
+    def _repair_link(self, a: str, b: str) -> None:
+        if self.cloud.network.link(a, b).up:
+            return
+        self.cloud.repair_link(a, b)
+        self.log.append(FaultEvent(self.cloud.sim.now, "link-repair", f"{a}|{b}"))
+
+    # -- analysis ---------------------------------------------------------------
+
+    def availability(self, node_id: str, start: float, end: float) -> float:
+        """Fraction of [start, end] the node spent up (from the log)."""
+        if end <= start:
+            raise ValueError("empty window")
+        down_since: Optional[float] = None
+        downtime = 0.0
+        for event in self.log:
+            if event.target != node_id:
+                continue
+            if event.kind == "node-fail" and down_since is None:
+                down_since = max(event.time, start)
+            elif event.kind == "node-repair" and down_since is not None:
+                downtime += min(event.time, end) - down_since
+                down_since = None
+        if down_since is not None:
+            downtime += end - down_since
+        return 1.0 - downtime / (end - start)

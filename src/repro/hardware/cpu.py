@@ -1,0 +1,43 @@
+"""CPU model: capacity holder plus utilisation accounting.
+
+The actual scheduling of competing tasks is done by the host OS layer
+(:mod:`repro.hostos.scheduler`); the Cpu exposes the machine's aggregate
+cycle throughput and keeps a :class:`~repro.telemetry.series.Gauge` of
+utilisation that the scheduler drives and the power model reads.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.specs import CpuSpec
+from repro.sim.kernel import Simulator
+from repro.telemetry.series import Gauge
+
+
+class Cpu:
+    """A machine's CPU: capacity in cycles/second plus a utilisation gauge."""
+
+    def __init__(self, sim: Simulator, spec: CpuSpec, owner: str = "") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.owner = owner
+        self.utilization = Gauge(sim, name=f"{owner}.cpu.util", initial=0.0)
+        self.cycles_executed = 0.0
+
+    @property
+    def capacity(self) -> float:
+        """Aggregate cycles per second across all cores."""
+        return self.spec.capacity_cycles_per_s
+
+    def set_utilization(self, fraction: float) -> None:
+        """Scheduler hook: record the current demand-driven utilisation."""
+        self.utilization.set(min(1.0, max(0.0, fraction)))
+
+    def account_cycles(self, cycles: float) -> None:
+        """Scheduler hook: add executed work to the lifetime counter."""
+        if cycles < 0:
+            raise ValueError("cannot account negative cycles")
+        self.cycles_executed += cycles
+
+    def mean_utilization(self, start: float | None = None, end: float | None = None) -> float:
+        """Time-weighted mean utilisation over a window (for dashboards)."""
+        return self.utilization.time_weighted_mean(start, end)

@@ -1,0 +1,46 @@
+"""Network interface card: the machine's attachment point to the fabric.
+
+The NIC itself is thin -- the interesting behaviour (bandwidth sharing,
+queueing) lives in :mod:`repro.netsim.link` -- but it owns the traffic
+counters and the binding between a machine and its access link.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.specs import NicSpec
+from repro.sim.kernel import Simulator
+from repro.telemetry.series import Counter
+
+
+class Nic:
+    """One Ethernet port; binds to a single link endpoint in the fabric."""
+
+    def __init__(self, sim: Simulator, spec: NicSpec, owner: str = "") -> None:
+        self.sim = sim
+        self.spec = spec
+        self.owner = owner
+        self.bytes_tx = Counter(sim, f"{owner}.nic.tx")
+        self.bytes_rx = Counter(sim, f"{owner}.nic.rx")
+        self.attached_node: Optional[str] = None  # netsim node id once cabled
+
+    @property
+    def bandwidth(self) -> float:
+        """Line rate in bytes/second."""
+        return self.spec.bandwidth_bytes_per_s
+
+    def attach(self, node_id: str) -> None:
+        """Record which fabric node this NIC is cabled to."""
+        if self.attached_node is not None:
+            raise ValueError(f"{self.owner}: NIC already cabled to {self.attached_node}")
+        self.attached_node = node_id
+
+    def detach(self) -> None:
+        self.attached_node = None
+
+    def on_transmit(self, nbytes: float) -> None:
+        self.bytes_tx.add(nbytes)
+
+    def on_receive(self, nbytes: float) -> None:
+        self.bytes_rx.add(nbytes)

@@ -1,0 +1,130 @@
+"""Immutable hardware specifications.
+
+Specs are plain frozen dataclasses; the live component models in this
+package are instantiated *from* a spec, so a whole rack of identical
+machines shares one spec object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """CPU capability: clock rate (cycles/s) times core count."""
+
+    clock_hz: float
+    cores: int = 1
+    architecture: str = "armv6"
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+
+    @property
+    def capacity_cycles_per_s(self) -> float:
+        """Aggregate cycle throughput across all cores."""
+        return self.clock_hz * self.cores
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """RAM capacity in bytes."""
+
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Block storage: capacity plus a simple bandwidth/latency service model."""
+
+    capacity_bytes: int
+    read_bytes_per_s: float
+    write_bytes_per_s: float
+    access_latency_s: float = 0.0
+    kind: str = "sd-card"
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.read_bytes_per_s <= 0 or self.write_bytes_per_s <= 0:
+            raise ValueError("storage bandwidths must be positive")
+        if self.access_latency_s < 0:
+            raise ValueError("access_latency_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Network interface: line rate in bytes/s."""
+
+    bandwidth_bytes_per_s: float
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Utilisation-linear power model parameters.
+
+    ``watts(u) = idle + (peak - idle) * u`` with ``u`` in [0, 1].
+    ``needs_cooling`` drives the cooling overhead in Table I.
+    """
+
+    idle_watts: float
+    peak_watts: float
+    needs_cooling: bool
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0:
+            raise ValueError("idle_watts must be >= 0")
+        if self.peak_watts < self.idle_watts:
+            raise ValueError("peak_watts must be >= idle_watts")
+
+    def watts_at(self, utilization: float) -> float:
+        """Power draw at the given utilisation, clamped to [0, 1]."""
+        u = min(1.0, max(0.0, utilization))
+        return self.idle_watts + (self.peak_watts - self.idle_watts) * u
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A complete machine: the unit the catalog and Table I reason about."""
+
+    name: str
+    cpu: CpuSpec
+    memory: MemorySpec
+    storage: StorageSpec
+    nic: NicSpec
+    power: PowerSpec
+    unit_cost_usd: float
+    boot_time_s: float = 30.0
+    os_reserved_bytes: int = 0
+    description: str = ""
+    tags: tuple[str, ...] = field(default_factory=tuple)
+    # Optional integrated GPU (the Pi's VideoCore; see repro.hardware.gpu).
+    # Typed loosely to avoid a circular import with gpu.py.
+    gpu: object = None
+
+    def __post_init__(self) -> None:
+        if self.unit_cost_usd < 0:
+            raise ValueError("unit_cost_usd must be >= 0")
+        if self.boot_time_s < 0:
+            raise ValueError("boot_time_s must be >= 0")
+        if not (0 <= self.os_reserved_bytes <= self.memory.capacity_bytes):
+            raise ValueError("os_reserved_bytes must fit within memory capacity")
+
+    def with_memory(self, capacity_bytes: int) -> "MachineSpec":
+        """Derive a spec with different RAM (models the Pi's RAM doubling)."""
+        return replace(self, memory=MemorySpec(capacity_bytes))

@@ -1,0 +1,32 @@
+"""Host operating system layer: the "Raspbian Linux" box of the paper's Fig. 3.
+
+Each booted machine runs a :class:`~repro.hostos.kernelhost.HostKernel`
+composed of:
+
+* :mod:`~repro.hostos.scheduler` -- a generalized-processor-sharing (GPS)
+  fair-share CPU scheduler with cgroup weights and quotas, the mechanism
+  behind Linux CFS + the cgroup CPU controller that LXC relies on.
+* :mod:`~repro.hostos.cgroup` -- the CGROUPS resource-isolation layer the
+  paper names as what makes Linux Containers possible.
+* :mod:`~repro.hostos.filesystem` -- an in-memory filesystem on the SD
+  card with byte-accurate capacity accounting and timed I/O.
+* :mod:`~repro.hostos.netstack` -- per-host IP networking (bridged
+  container addresses, ports, message sockets) on top of the fabric.
+"""
+
+from repro.hostos.cgroup import CGroup
+from repro.hostos.filesystem import FileSystem
+from repro.hostos.kernelhost import HostKernel
+from repro.hostos.netstack import IpFabric, Message, NetStack
+from repro.hostos.scheduler import FairShareScheduler, Task
+
+__all__ = [
+    "CGroup",
+    "FairShareScheduler",
+    "FileSystem",
+    "HostKernel",
+    "IpFabric",
+    "Message",
+    "NetStack",
+    "Task",
+]

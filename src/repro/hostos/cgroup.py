@@ -1,0 +1,128 @@
+"""Control groups: the kernel mechanism behind Linux Containers.
+
+The paper (§II-B) is explicit that LXC "is supported by the Linux kernel's
+CGROUPS functionality".  A :class:`CGroup` bundles the two controllers the
+PiCloud experiments exercise:
+
+* **cpu** -- ``cpu_shares`` (relative weight under contention, default
+  1024 as in Linux) and ``cpu_quota`` (a hard cap as a fraction of the
+  machine's capacity; ``None`` = uncapped).  Enforced by the
+  :class:`~repro.hostos.scheduler.FairShareScheduler`.
+* **memory** -- ``memory_limit_bytes`` charged against the machine's RAM;
+  exceeding the limit raises OOM, exactly how a container's footprint is
+  bounded on a 256 MB Pi.
+
+These are also the paper's Fig. 4 "soft per-VM resource utilisation
+limits": the management API adjusts shares/quota/limits at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import OutOfMemoryError
+from repro.hardware.memory import Memory
+from repro.units import fmt_bytes
+
+DEFAULT_CPU_SHARES = 1024
+
+
+class CGroup:
+    """One control group: CPU weight/cap plus a memory budget."""
+
+    def __init__(
+        self,
+        name: str,
+        memory: Memory,
+        cpu_shares: int = DEFAULT_CPU_SHARES,
+        cpu_quota: Optional[float] = None,
+        memory_limit_bytes: Optional[int] = None,
+    ) -> None:
+        if cpu_shares <= 0:
+            raise ValueError(f"cgroup {name!r}: cpu_shares must be positive")
+        if cpu_quota is not None and not (0.0 < cpu_quota <= 1.0):
+            raise ValueError(f"cgroup {name!r}: cpu_quota must be in (0, 1]")
+        if memory_limit_bytes is not None and memory_limit_bytes <= 0:
+            raise ValueError(f"cgroup {name!r}: memory limit must be positive")
+        self.name = name
+        self._machine_memory = memory
+        self.cpu_shares = cpu_shares
+        self.cpu_quota = cpu_quota
+        self.memory_limit_bytes = memory_limit_bytes
+        self._charged = 0
+
+    # -- memory controller ---------------------------------------------------
+
+    @property
+    def memory_used(self) -> int:
+        return self._charged
+
+    @property
+    def memory_available(self) -> Optional[int]:
+        if self.memory_limit_bytes is None:
+            return None
+        return self.memory_limit_bytes - self._charged
+
+    def charge_memory(self, nbytes: int) -> None:
+        """Charge an allocation to this group (and the machine).
+
+        Raises :class:`OutOfMemoryError` when either the group limit or
+        the machine's physical RAM would be exceeded.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot charge negative memory")
+        if (
+            self.memory_limit_bytes is not None
+            and self._charged + nbytes > self.memory_limit_bytes
+        ):
+            raise OutOfMemoryError(
+                f"cgroup {self.name!r}: limit {fmt_bytes(self.memory_limit_bytes)} "
+                f"exceeded (used {fmt_bytes(self._charged)}, "
+                f"requested {fmt_bytes(nbytes)})"
+            )
+        label = f"cgroup:{self.name}"
+        if label in self._machine_memory.allocations():
+            # resize() raises OutOfMemoryError if physical RAM lacks room.
+            self._machine_memory.resize(label, self._charged + nbytes)
+        else:
+            self._machine_memory.allocate(label, nbytes)
+        self._charged += nbytes
+
+    def uncharge_memory(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self._charged:
+            raise ValueError(
+                f"cgroup {self.name!r}: cannot uncharge {nbytes} of {self._charged}"
+            )
+        self._charged -= nbytes
+        label = f"cgroup:{self.name}"
+        if self._charged == 0:
+            self._machine_memory.free(label)
+        else:
+            self._machine_memory.resize(label, self._charged)
+
+    # -- cpu controller knobs (Fig. 4 "soft per-VM limits") ------------------
+
+    def set_cpu_shares(self, shares: int) -> None:
+        if shares <= 0:
+            raise ValueError(f"cgroup {self.name!r}: cpu_shares must be positive")
+        self.cpu_shares = shares
+
+    def set_cpu_quota(self, quota: Optional[float]) -> None:
+        if quota is not None and not (0.0 < quota <= 1.0):
+            raise ValueError(f"cgroup {self.name!r}: cpu_quota must be in (0, 1]")
+        self.cpu_quota = quota
+
+    def set_memory_limit(self, limit: Optional[int]) -> None:
+        """Adjust the memory ceiling; cannot drop below current usage."""
+        if limit is not None and limit < self._charged:
+            raise OutOfMemoryError(
+                f"cgroup {self.name!r}: cannot set limit {fmt_bytes(limit)} below "
+                f"current usage {fmt_bytes(self._charged)}"
+            )
+        self.memory_limit_bytes = limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CGroup {self.name} shares={self.cpu_shares} "
+            f"quota={self.cpu_quota} mem={fmt_bytes(self._charged)}>"
+        )

@@ -1,0 +1,119 @@
+"""The web control panel (paper Fig. 4), rendered as text.
+
+"An outward-facing webserver on pimaster provides a web-based control
+panel to users and administrators."  The :class:`Dashboard` renders the
+same information the screenshot shows -- per-node CPU load with bars,
+memory, container counts, the VM table with its soft limits, and cloud
+totals -- from a single consistent snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.telemetry.stats import format_table
+from repro.units import fmt_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mgmt.pimaster import PiMaster
+
+BAR_WIDTH = 20
+
+
+def load_bar(fraction: float, width: int = BAR_WIDTH) -> str:
+    """An ASCII load bar: ``[######--------------] 30%``."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return f"[{'#' * filled}{'-' * (width - filled)}] {fraction * 100:3.0f}%"
+
+
+class Dashboard:
+    """A point-in-time snapshot of the whole PiCloud, renderable as text."""
+
+    def __init__(self, pimaster: "PiMaster") -> None:
+        self.pimaster = pimaster
+        self.taken_at = pimaster.sim.now
+        self.node_rows = []
+        self.vm_rows = []
+        for node_id in pimaster.node_ids():
+            daemon = pimaster.daemon(node_id)
+            machine = daemon.kernel.machine
+            self.node_rows.append(
+                {
+                    "node": node_id,
+                    "rack": machine.rack or "-",
+                    "state": machine.state.value,
+                    "cpu": machine.cpu.utilization.value,
+                    "mem_used": machine.memory.used,
+                    "mem_capacity": machine.memory.capacity,
+                    "containers": daemon.runtime.running_count(),
+                    "watts": machine.power.current_watts,
+                }
+            )
+            for container in daemon.runtime.containers():
+                self.vm_rows.append(container.describe())
+        self.total_watts = sum(row["watts"] for row in self.node_rows)
+        self.total_containers = sum(row["containers"] for row in self.node_rows)
+        self.nodes_on = sum(1 for row in self.node_rows if row["state"] == "on")
+
+    def render(self) -> str:
+        """The full control panel as a text page."""
+        lines = [
+            f"PiCloud control panel @ t={self.taken_at:.1f}s "
+            f"({self.pimaster.dns.zone})",
+            "=" * 72,
+            f"nodes: {self.nodes_on}/{len(self.node_rows)} on | "
+            f"containers running: {self.total_containers} | "
+            f"total draw: {self.total_watts:.1f} W",
+            "",
+            "Node status",
+            "-----------",
+        ]
+        node_table = format_table(
+            ["node", "rack", "state", "cpu load", "memory", "VMs", "watts"],
+            [
+                [
+                    row["node"],
+                    row["rack"],
+                    row["state"],
+                    load_bar(row["cpu"]),
+                    f"{fmt_bytes(row['mem_used'])}/{fmt_bytes(row['mem_capacity'])}",
+                    row["containers"],
+                    f"{row['watts']:.1f}",
+                ]
+                for row in self.node_rows
+            ],
+        )
+        lines.append(node_table)
+        lines += ["", "Virtual hosts", "-------------"]
+        if self.vm_rows:
+            vm_table = format_table(
+                ["name", "image", "state", "host", "ip", "rss",
+                 "cpu shares", "cpu quota"],
+                [
+                    [
+                        vm["name"],
+                        vm["image"],
+                        vm["state"],
+                        vm["host"],
+                        vm["ip"] or "-",
+                        fmt_bytes(vm["memory"]),
+                        vm["cpu_shares"],
+                        vm["cpu_quota"] if vm["cpu_quota"] is not None else "-",
+                    ]
+                    for vm in self.vm_rows
+                ],
+            )
+            lines.append(vm_table)
+        else:
+            lines.append("(no virtual hosts)")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, float]:
+        """Machine-readable totals (used by benches)."""
+        return {
+            "nodes": len(self.node_rows),
+            "nodes_on": self.nodes_on,
+            "containers_running": self.total_containers,
+            "total_watts": self.total_watts,
+        }

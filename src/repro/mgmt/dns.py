@@ -1,0 +1,63 @@
+"""DNS: the pimaster's naming-policy service.
+
+Nodes register as ``<node>.<zone>`` and containers as ``<name>.<zone>``;
+applications address each other by name, so migrations (which keep the
+IP) and re-spawns (which change it) both resolve correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import NameError_
+
+
+class DnsServer:
+    """A-record store with a zone-suffix naming policy."""
+
+    def __init__(self, zone: str = "picloud.dcs.gla.ac.uk") -> None:
+        self.zone = zone.strip(".")
+        self._records: Dict[str, str] = {}
+        self.queries = 0
+        self.misses = 0
+
+    def fqdn(self, name: str) -> str:
+        """Apply the naming policy: qualify a bare name into the zone."""
+        name = name.strip(".").lower()
+        if name.endswith(self.zone):
+            return name
+        return f"{name}.{self.zone}"
+
+    def register(self, name: str, ip: str) -> str:
+        """Add an A record; returns the FQDN.  Duplicate names rejected."""
+        fqdn = self.fqdn(name)
+        if fqdn in self._records:
+            raise NameError_(f"{fqdn} already registered to {self._records[fqdn]}")
+        self._records[fqdn] = ip
+        return fqdn
+
+    def update(self, name: str, ip: str) -> str:
+        """Point an existing record at a new address (re-spawn case)."""
+        fqdn = self.fqdn(name)
+        if fqdn not in self._records:
+            raise NameError_(f"no record for {fqdn}")
+        self._records[fqdn] = ip
+        return fqdn
+
+    def unregister(self, name: str) -> None:
+        fqdn = self.fqdn(name)
+        if self._records.pop(fqdn, None) is None:
+            raise NameError_(f"no record for {fqdn}")
+
+    def resolve(self, name: str) -> str:
+        """A-record lookup; raises on NXDOMAIN."""
+        self.queries += 1
+        fqdn = self.fqdn(name)
+        try:
+            return self._records[fqdn]
+        except KeyError:
+            self.misses += 1
+            raise NameError_(f"NXDOMAIN: {fqdn}") from None
+
+    def records(self) -> dict[str, str]:
+        return dict(self._records)

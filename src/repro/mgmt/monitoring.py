@@ -1,0 +1,82 @@
+"""The pimaster's monitoring poller.
+
+"Typical use-case scenarios include remote monitoring of the CPU load on
+some/all Pi nodes" (§II-C).  The poller GETs every node's ``/metrics``
+endpoint on a fixed interval over the real fabric (so monitoring traffic
+is part of the workload) and keeps both the latest snapshot and a CPU-load
+time series per node -- the data behind the Fig. 4 dashboard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mgmt.rest import RestClient
+from repro.sim.kernel import Simulator
+from repro.sim.process import Timeout
+from repro.telemetry.series import TimeSeries
+
+
+class MonitoringService:
+    """Periodic metrics collection from registered node daemons."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: RestClient,
+        interval_s: float = 5.0,
+        daemon_port: int = 8600,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("monitoring interval must be positive")
+        self.sim = sim
+        self.client = client
+        self.interval_s = interval_s
+        self.daemon_port = daemon_port
+        self._targets: Dict[str, str] = {}  # node_id -> management IP
+        self.latest: Dict[str, dict] = {}
+        self.cpu_series: Dict[str, TimeSeries] = {}
+        self.poll_errors = 0
+        self.polls = 0
+        self._stopped = False
+        self._process: Optional[object] = None
+
+    def watch(self, node_id: str, ip: str) -> None:
+        self._targets[node_id] = ip
+        self.cpu_series.setdefault(node_id, TimeSeries(f"{node_id}.cpu"))
+
+    def unwatch(self, node_id: str) -> None:
+        self._targets.pop(node_id, None)
+        self.latest.pop(node_id, None)
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.sim.process(self._poll_loop(), name="monitoring")
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._process is not None:
+            self._process.interrupt("monitoring stopped")
+
+    def _poll_loop(self):
+        while not self._stopped:
+            for node_id, ip in sorted(self._targets.items()):
+                try:
+                    response = yield self.client.get(ip, self.daemon_port, "/metrics")
+                except Exception:  # noqa: BLE001 - node down; keep polling
+                    self.poll_errors += 1
+                    continue
+                if not response.ok:
+                    self.poll_errors += 1
+                    continue
+                metrics = response.body
+                self.latest[node_id] = metrics
+                self.polls += 1
+                self.cpu_series[node_id].record(self.sim.now, metrics["cpu_load"])
+            yield Timeout(self.sim, self.interval_s)
+
+    def mean_cpu_load(self, node_id: str) -> float:
+        series = self.cpu_series.get(node_id)
+        if series is None or len(series) == 0:
+            return 0.0
+        return sum(series.values) / len(series)

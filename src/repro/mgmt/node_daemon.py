@@ -1,0 +1,281 @@
+"""The per-Pi API daemon: the node-side half of the management plane.
+
+"There is an API daemon on each Pi providing a RESTful management
+interface for facilitating virtual host management and interacting with a
+head node (the pimaster)" (§II-A).  The daemon wraps the host's LXC
+runtime behind REST routes:
+
+====== =============================== ==========================================
+Method Path                            Action
+====== =============================== ==========================================
+GET    /health                         liveness probe
+GET    /metrics                        CPU load, memory, container count, watts
+GET    /containers                     list containers (Fig. 4 table rows)
+POST   /images                         receive an image push (body = rootfs)
+POST   /containers                     create + start a container
+POST   /containers/{name}/stop         stop
+POST   /containers/{name}/start        start a stopped container
+POST   /containers/{name}/freeze       freeze
+POST   /containers/{name}/unfreeze     unfreeze
+POST   /containers/{name}/limits       adjust soft resource limits (Fig. 4)
+POST   /containers/{name}/migrate      live-migrate to a peer node
+DELETE /containers/{name}              stop if needed + destroy
+====== =============================== ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import PiCloudError, RestError
+from repro.hostos.kernelhost import HostKernel
+from repro.mgmt.rest import RestRequest, RestServer
+from repro.virt.container import ContainerState
+from repro.virt.image import ContainerImage
+from repro.virt.lxc import LxcRuntime
+from repro.virt.migration import live_migrate
+
+NODE_DAEMON_PORT = 8600
+IMAGE_CACHE_DIR = "/var/cache/picloud/images"
+
+
+class NodeDaemon:
+    """One Pi's management agent: REST façade over its LXC runtime."""
+
+    def __init__(
+        self,
+        kernel: HostKernel,
+        runtime: Optional[LxcRuntime] = None,
+        port: int = NODE_DAEMON_PORT,
+        peer_resolver: Optional[Callable[[str], "NodeDaemon"]] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.runtime = runtime or LxcRuntime(kernel)
+        # peer_resolver("pi-r1-n3") -> that node's daemon; installed by the
+        # pimaster so migrations can find their destination runtime.
+        self.peer_resolver = peer_resolver
+        self._images: Dict[str, ContainerImage] = {}
+        self.server = RestServer(kernel, port, name=f"daemon:{kernel.node_id}")
+        self._register_routes()
+
+    @property
+    def node_id(self) -> str:
+        return self.kernel.node_id
+
+    # -- local image cache --------------------------------------------------------
+
+    def has_image(self, qualified_name: str) -> bool:
+        return qualified_name in self._images
+
+    def cached_images(self) -> list[str]:
+        return sorted(self._images)
+
+    # -- route handlers --------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        server = self.server
+        server.add_route("GET", "/health", self._health)
+        server.add_route("GET", "/metrics", self._metrics)
+        server.add_route("GET", "/containers", self._list_containers)
+        server.add_route("POST", "/images", self._receive_image)
+        server.add_route("POST", "/containers", self._create_container)
+        server.add_route("POST", "/containers/{name}/stop", self._stop)
+        server.add_route("POST", "/containers/{name}/start", self._start)
+        server.add_route("POST", "/containers/{name}/freeze", self._freeze)
+        server.add_route("POST", "/containers/{name}/unfreeze", self._unfreeze)
+        server.add_route("POST", "/containers/{name}/limits", self._limits)
+        server.add_route("POST", "/containers/{name}/migrate", self._migrate)
+        server.add_route("POST", "/containers/{name}/rebind", self._rebind)
+        server.add_route("DELETE", "/containers/{name}", self._destroy)
+
+    def _health(self, request: RestRequest):
+        return 200, {"status": "ok", "node": self.node_id, "time": self.sim.now}
+
+    def _metrics(self, request: RestRequest):
+        machine = self.kernel.machine
+        return 200, {
+            "node": self.node_id,
+            "cpu_load": self.kernel.cpu_load(),
+            "mem_used": machine.memory.used,
+            "mem_capacity": machine.memory.capacity,
+            "disk_used": machine.storage.used,
+            "disk_capacity": machine.storage.capacity,
+            "containers_running": self.runtime.running_count(),
+            "containers_total": len(self.runtime.containers()),
+            "watts": machine.power.current_watts,
+        }
+
+    def _list_containers(self, request: RestRequest):
+        return 200, [c.describe() for c in self.runtime.containers()]
+
+    def _receive_image(self, request: RestRequest):
+        body = request.body or {}
+        try:
+            image = ContainerImage(
+                name=body["name"],
+                version=body["version"],
+                rootfs_bytes=body["size"],
+                idle_memory_bytes=body.get("idle_memory", 30 * 1024 * 1024),
+                app_class=body.get("app_class", "generic"),
+            )
+        except (KeyError, PiCloudError) as exc:
+            raise RestError(400, f"bad image descriptor: {exc}") from exc
+        path = f"{IMAGE_CACHE_DIR}/{image.name}-v{image.version}.rootfs"
+        if self.kernel.filesystem.exists(path):
+            self._images[image.qualified_name] = image
+            return 200, {"cached": True}
+        # Write the received rootfs to the SD card (timed).
+        yield self.kernel.filesystem.write(
+            path, image.rootfs_bytes, metadata={"image": image.qualified_name}
+        )
+        self._images[image.qualified_name] = image
+        return 201, {"cached": False, "image": image.qualified_name}
+
+    def _create_container(self, request: RestRequest):
+        body = request.body or {}
+        for key in ("name", "image"):
+            if key not in body:
+                raise RestError(400, f"missing field {key!r}")
+        image = self._images.get(body["image"])
+        if image is None:
+            raise RestError(409, f"image {body['image']!r} not cached on {self.node_id}")
+        create = self.runtime.lxc_create(
+            body["name"],
+            image,
+            cpu_shares=body.get("cpu_shares", 1024),
+            cpu_quota=body.get("cpu_quota"),
+            memory_limit_bytes=body.get("memory_limit_bytes"),
+        )
+        try:
+            container = yield create
+        except Exception as exc:
+            raise RestError(409, f"create failed: {exc}") from exc
+        if body.get("start", True):
+            try:
+                yield self.runtime.lxc_start(container, ip=body.get("ip"))
+            except Exception as exc:
+                self.runtime.lxc_destroy(container)
+                raise RestError(507, f"start failed: {exc}") from exc
+        return 201, container.describe()
+
+    def _container_or_404(self, name: str):
+        try:
+            return self.runtime.container(name)
+        except PiCloudError as exc:
+            raise RestError(404, str(exc)) from exc
+
+    def _stop(self, request: RestRequest, name: str):
+        container = self._container_or_404(name)
+        try:
+            self.runtime.lxc_stop(container)
+        except PiCloudError as exc:
+            raise RestError(409, str(exc)) from exc
+        return 200, container.describe()
+
+    def _start(self, request: RestRequest, name: str):
+        container = self._container_or_404(name)
+        body = request.body or {}
+        try:
+            yield self.runtime.lxc_start(container, ip=body.get("ip"))
+        except Exception as exc:
+            raise RestError(409, f"start failed: {exc}") from exc
+        return 200, container.describe()
+
+    def _freeze(self, request: RestRequest, name: str):
+        container = self._container_or_404(name)
+        try:
+            self.runtime.lxc_freeze(container)
+        except PiCloudError as exc:
+            raise RestError(409, str(exc)) from exc
+        return 200, container.describe()
+
+    def _unfreeze(self, request: RestRequest, name: str):
+        container = self._container_or_404(name)
+        try:
+            self.runtime.lxc_unfreeze(container)
+        except PiCloudError as exc:
+            raise RestError(409, str(exc)) from exc
+        return 200, container.describe()
+
+    def _limits(self, request: RestRequest, name: str):
+        """The Fig. 4 'soft per-VM resource utilisation limits' endpoint."""
+        container = self._container_or_404(name)
+        body = request.body or {}
+        try:
+            if "cpu_shares" in body:
+                container.cgroup.set_cpu_shares(body["cpu_shares"])
+            if "cpu_quota" in body:
+                container.cgroup.set_cpu_quota(body["cpu_quota"])
+            if "memory_limit_bytes" in body:
+                container.cgroup.set_memory_limit(body["memory_limit_bytes"])
+            if "net_rate_cap" in body:
+                container.set_network_cap(body["net_rate_cap"])
+        except (ValueError, PiCloudError) as exc:
+            raise RestError(400, str(exc)) from exc
+        self.kernel.scheduler.notify_change()
+        return 200, container.describe()
+
+    def _migrate(self, request: RestRequest, name: str):
+        container = self._container_or_404(name)
+        body = request.body or {}
+        destination_id = body.get("destination")
+        if destination_id is None:
+            raise RestError(400, "missing field 'destination'")
+        if self.peer_resolver is None:
+            raise RestError(501, "node has no peer resolver configured")
+        try:
+            peer = self.peer_resolver(destination_id)
+        except KeyError:
+            raise RestError(404, f"unknown destination node {destination_id!r}") from None
+        try:
+            report = yield live_migrate(container, peer.runtime)
+        except Exception as exc:
+            raise RestError(409, f"migration failed: {exc}") from exc
+        return 200, {
+            "container": report.container,
+            "source": report.source,
+            "destination": report.destination,
+            "rounds": report.rounds,
+            "total_bytes": report.total_bytes,
+            "downtime_s": report.downtime_s,
+            "duration_s": report.duration_s,
+            "converged": report.converged,
+        }
+
+    def _rebind(self, request: RestRequest, name: str):
+        """Re-address a running container (subnet-bound IP after migration).
+
+        Unbinds the current address and binds the supplied one.  Used by
+        the pimaster's ``reassign_ip`` migration mode -- the IP-full
+        baseline of the §III IP-less routing study.
+        """
+        container = self._container_or_404(name)
+        body = request.body or {}
+        new_ip = body.get("ip")
+        if new_ip is None:
+            raise RestError(400, "missing field 'ip'")
+        if not container.is_running:
+            raise RestError(409, f"container {name!r} is not running")
+        stack = self.kernel.netstack
+        old_ip = container.ip
+        try:
+            if old_ip is not None:
+                stack.unbind_address(old_ip)
+            stack.bind_address(new_ip)
+        except Exception as exc:
+            raise RestError(409, f"rebind failed: {exc}") from exc
+        if old_ip is not None:
+            stack.rekey_listeners(old_ip, new_ip)
+            stack.set_rate_cap(old_ip, None)
+        if container.net_rate_cap is not None:
+            stack.set_rate_cap(new_ip, container.net_rate_cap)
+        container.ip = new_ip
+        return 200, {"name": name, "old_ip": old_ip, "ip": new_ip}
+
+    def _destroy(self, request: RestRequest, name: str):
+        container = self._container_or_404(name)
+        if container.state in (ContainerState.RUNNING, ContainerState.FROZEN):
+            self.runtime.lxc_stop(container)
+        self.runtime.lxc_destroy(container)
+        return 200, {"destroyed": name}

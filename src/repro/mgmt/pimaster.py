@@ -1,0 +1,346 @@
+"""The pimaster: the PiCloud's head node.
+
+Owns the DHCP and DNS services, the image store, the monitoring poller,
+the node registry and the placement policy; orchestrates container
+lifecycle by calling each node's REST daemon over the fabric.  This is
+the component behind the paper's Fig. 4 control panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ManagementError, PlacementError
+from repro.hostos.kernelhost import HostKernel
+from repro.mgmt.dashboard import Dashboard
+from repro.mgmt.dhcp import DhcpServer
+from repro.mgmt.dns import DnsServer
+from repro.mgmt.images import ImageService
+from repro.mgmt.monitoring import MonitoringService
+from repro.mgmt.node_daemon import NODE_DAEMON_PORT, NodeDaemon
+from repro.mgmt.rest import RestClient
+from repro.netsim.addresses import Ipv4Pool
+from repro.placement.base import NodeView, PlacementPolicy, PlacementRequest
+from repro.placement.policies import FirstFit
+from repro.sim.process import Signal
+
+
+@dataclass
+class NodeRecord:
+    """Registry row for one managed Pi."""
+
+    node_id: str
+    ip: str
+    daemon: NodeDaemon
+
+
+@dataclass
+class ContainerRecord:
+    """Registry row for one managed container."""
+
+    name: str
+    node_id: str
+    image: str
+    ip: str
+    fqdn: str
+    group: Optional[str] = None
+
+
+class PiMaster:
+    """The head node: registry + services + orchestration."""
+
+    def __init__(
+        self,
+        kernel: HostKernel,
+        subnet: str = "10.0.0.0/16",
+        zone: str = "picloud.dcs.gla.ac.uk",
+        placement_policy: Optional[PlacementPolicy] = None,
+        monitoring_interval_s: float = 5.0,
+        image_service: Optional[ImageService] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        # Management calls can legitimately take minutes (an image push
+        # moves hundreds of MiB across the fabric onto an SD card), so the
+        # head node's client timeout is generous.
+        self.client = RestClient(kernel.netstack, timeout_s=1800.0)
+        self.dhcp = DhcpServer(self.sim, Ipv4Pool(subnet))
+        self.dns = DnsServer(zone)
+        self.images = image_service or ImageService(self.sim)
+        self.monitoring = MonitoringService(
+            self.sim, self.client, interval_s=monitoring_interval_s
+        )
+        self.placement_policy: PlacementPolicy = placement_policy or FirstFit()
+        self._nodes: Dict[str, NodeRecord] = {}
+        self._containers: Dict[str, ContainerRecord] = {}
+        self._spawn_seq = 0
+        self.spawns = 0
+        self.spawn_failures = 0
+
+    # -- registry ---------------------------------------------------------------
+
+    def register_node(self, daemon: NodeDaemon, ip: str) -> NodeRecord:
+        """Enroll a Pi: record its address, wire up migration resolution."""
+        node_id = daemon.node_id
+        if node_id in self._nodes:
+            raise ManagementError(f"node {node_id!r} already registered")
+        record = NodeRecord(node_id=node_id, ip=ip, daemon=daemon)
+        self._nodes[node_id] = record
+        daemon.peer_resolver = self.daemon
+        self.monitoring.watch(node_id, ip)
+        self.dns.register(node_id, ip)
+        return record
+
+    def node_ids(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def daemon(self, node_id: str) -> NodeDaemon:
+        try:
+            return self._nodes[node_id].daemon
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def node_ip(self, node_id: str) -> str:
+        return self._nodes[node_id].ip
+
+    def container_record(self, name: str) -> ContainerRecord:
+        try:
+            return self._containers[name]
+        except KeyError:
+            raise ManagementError(f"unknown container {name!r}") from None
+
+    def container_records(self) -> list[ContainerRecord]:
+        return sorted(self._containers.values(), key=lambda r: r.name)
+
+    # -- state views for placement ------------------------------------------------
+
+    def node_views(self) -> list[NodeView]:
+        """Current snapshot of every registered node, in node-id order."""
+        views = []
+        for node_id in self.node_ids():
+            daemon = self._nodes[node_id].daemon
+            machine = daemon.kernel.machine
+            groups = tuple(
+                sorted(
+                    {
+                        record.group
+                        for record in self._containers.values()
+                        if record.node_id == node_id and record.group is not None
+                    }
+                )
+            )
+            # The host's access-link utilisation, if the fabric knows it.
+            uplink = 0.0
+            network = daemon.kernel.netstack.fabric.network
+            for link in network.links():
+                if node_id in link.endpoints:
+                    uplink = max(
+                        link.forward.utilization.value,
+                        link.reverse.utilization.value,
+                    )
+                    break
+            views.append(
+                NodeView(
+                    node_id=node_id,
+                    rack=machine.rack,
+                    memory_available=machine.memory.available,
+                    memory_capacity=machine.memory.capacity,
+                    cpu_load=machine.cpu.utilization.value,
+                    running_containers=daemon.runtime.running_count(),
+                    powered_on=machine.is_on,
+                    uplink_utilization=uplink,
+                    groups=groups,
+                )
+            )
+        return views
+
+    # -- orchestration ------------------------------------------------------------------
+
+    def spawn_container(
+        self,
+        image: str,
+        name: Optional[str] = None,
+        policy: Optional[PlacementPolicy] = None,
+        cpu_shares: int = 1024,
+        cpu_quota: Optional[float] = None,
+        memory_limit_bytes: Optional[int] = None,
+        same_rack_as: Optional[str] = None,
+        avoid_racks: tuple = (),
+        group: Optional[str] = None,
+        node_id: Optional[str] = None,
+    ) -> Signal:
+        """Place, provision and start a container; Signal -> ContainerRecord.
+
+        ``node_id`` pins the placement; otherwise the active policy picks.
+        The whole chain is real: image push (if cold), DHCP lease, REST
+        create/start on the node, DNS registration.
+        """
+        done = Signal(self.sim, name=f"spawn:{image}")
+        container_image = self.images.get(image)
+        self._spawn_seq += 1
+        container_name = name or f"{container_image.name}-{self._spawn_seq}"
+        if container_name in self._containers:
+            done.fail(ManagementError(f"container name {container_name!r} in use"))
+            return done
+
+        request = PlacementRequest(
+            image=container_image.name,
+            memory_bytes=container_image.idle_memory_bytes,
+            cpu_shares=cpu_shares,
+            cpu_quota=cpu_quota,
+            same_rack_as=same_rack_as,
+            avoid_racks=tuple(avoid_racks),
+            anti_affinity_group=group,
+        )
+
+        def run():
+            try:
+                if node_id is not None:
+                    target = node_id
+                else:
+                    chooser = policy or self.placement_policy
+                    target = chooser.choose(request, self.node_views())
+            except PlacementError as exc:
+                self.spawn_failures += 1
+                done.fail(exc)
+                return
+            record = self._nodes[target]
+            try:
+                yield self.images.ensure_cached(
+                    self.client, target, record.ip, NODE_DAEMON_PORT, container_image
+                )
+                lease = self.dhcp.request_lease(
+                    client_id=container_name, hostname=container_name
+                )
+                response = yield self.client.post(
+                    record.ip, NODE_DAEMON_PORT, "/containers",
+                    body={
+                        "name": container_name,
+                        "image": container_image.qualified_name,
+                        "ip": lease.ip,
+                        "cpu_shares": cpu_shares,
+                        "cpu_quota": cpu_quota,
+                        "memory_limit_bytes": memory_limit_bytes,
+                    },
+                )
+                response.raise_for_status()
+            except Exception as exc:  # noqa: BLE001 - spawn failed downstream
+                self.spawn_failures += 1
+                done.fail(ManagementError(f"spawn of {container_name!r} failed: {exc}"))
+                return
+            fqdn = self.dns.register(container_name, lease.ip)
+            container_record = ContainerRecord(
+                name=container_name,
+                node_id=target,
+                image=container_image.qualified_name,
+                ip=lease.ip,
+                fqdn=fqdn,
+                group=group,
+            )
+            self._containers[container_name] = container_record
+            self.spawns += 1
+            done.succeed(container_record)
+
+        self.sim.process(run(), name=f"spawn:{container_name}")
+        return done
+
+    def destroy_container(self, name: str) -> Signal:
+        """Stop + destroy a container and release its lease and DNS record."""
+        done = Signal(self.sim, name=f"destroy:{name}")
+        record = self.container_record(name)
+        node = self._nodes[record.node_id]
+
+        def run():
+            try:
+                response = yield self.client.delete(
+                    node.ip, NODE_DAEMON_PORT, f"/containers/{name}"
+                )
+                response.raise_for_status()
+            except Exception as exc:  # noqa: BLE001
+                done.fail(ManagementError(f"destroy of {name!r} failed: {exc}"))
+                return
+            self.dns.unregister(name)
+            self.dhcp.release(name)
+            del self._containers[name]
+            done.succeed(name)
+
+        self.sim.process(run(), name=f"destroy:{name}")
+        return done
+
+    def set_limits(self, name: str, **limits) -> Signal:
+        """Adjust a container's soft resource limits (Fig. 4 use case)."""
+        done = Signal(self.sim, name=f"limits:{name}")
+        record = self.container_record(name)
+        node = self._nodes[record.node_id]
+
+        def run():
+            try:
+                response = yield self.client.post(
+                    node.ip, NODE_DAEMON_PORT, f"/containers/{name}/limits",
+                    body=limits,
+                )
+                response.raise_for_status()
+            except Exception as exc:  # noqa: BLE001
+                done.fail(ManagementError(f"set_limits on {name!r} failed: {exc}"))
+                return
+            done.succeed(response.body)
+
+        self.sim.process(run(), name=f"limits:{name}")
+        return done
+
+    def migrate_container(self, name: str, destination: str,
+                          reassign_ip: bool = False) -> Signal:
+        """Live-migrate via the source node's daemon; Signal -> report dict.
+
+        ``reassign_ip=True`` models subnet-bound ("IP-full") addressing:
+        after the move the container receives a *new* DHCP lease on the
+        destination and DNS is updated -- so peers holding the old
+        address break until they re-resolve.  The default keeps the IP
+        (the paper's IP-less-routing goal of seamless migration).
+        """
+        done = Signal(self.sim, name=f"migrate:{name}")
+        record = self.container_record(name)
+        if destination not in self._nodes:
+            done.fail(ManagementError(f"unknown destination node {destination!r}"))
+            return done
+        source = self._nodes[record.node_id]
+
+        def run():
+            try:
+                response = yield self.client.post(
+                    source.ip, NODE_DAEMON_PORT, f"/containers/{name}/migrate",
+                    body={"destination": destination},
+                )
+                response.raise_for_status()
+            except Exception as exc:  # noqa: BLE001
+                done.fail(ManagementError(f"migration of {name!r} failed: {exc}"))
+                return
+            record.node_id = destination
+            if reassign_ip:
+                try:
+                    old_ip = record.ip
+                    self.dhcp.release(name)
+                    lease = self.dhcp.request_lease(client_id=name, hostname=name)
+                    rebind = yield self.client.post(
+                        self._nodes[destination].ip, NODE_DAEMON_PORT,
+                        f"/containers/{name}/rebind", body={"ip": lease.ip},
+                    )
+                    rebind.raise_for_status()
+                    record.ip = lease.ip
+                    self.dns.update(name, lease.ip)
+                except Exception as exc:  # noqa: BLE001
+                    done.fail(ManagementError(
+                        f"IP reassignment for {name!r} failed: {exc}"
+                    ))
+                    return
+            done.succeed(response.body)
+
+        self.sim.process(run(), name=f"migrate:{name}")
+        return done
+
+    # -- panel ------------------------------------------------------------------------
+
+    def dashboard(self) -> Dashboard:
+        """Snapshot the cloud for the web control panel."""
+        return Dashboard(self)

@@ -1,0 +1,402 @@
+"""The live network: flows, fair-share rates, congestion accounting.
+
+:class:`Network` instantiates a :class:`~repro.netsim.link.Link` per
+topology edge and runs the fluid flow model: whenever a flow starts,
+finishes, or is rerouted, every active flow's rate is recomputed with
+:func:`~repro.netsim.fairness.max_min_rates` and its completion event is
+rescheduled.  Per-direction utilisation gauges and congestion counters
+feed the cross-layer experiments (C2/C3) directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.errors import ConnectionResetError, NetworkError, NoRouteError
+from repro.netsim.fairness import max_min_rates
+from repro.netsim.link import Link, LinkDirection
+from repro.netsim.routing import PathService, ShortestPathRouting, path_links
+from repro.netsim.topology import Topology
+from repro.sim.kernel import Event, Simulator
+from repro.sim.process import Signal, Timeout
+from repro.telemetry.series import Counter, TimeSeries
+
+_EPSILON_BYTES = 1e-6
+
+
+class FlowState(enum.Enum):
+    PENDING = "pending"    # waiting for route resolution / propagation
+    ACTIVE = "active"      # transferring data
+    DONE = "done"
+    FAILED = "failed"
+
+
+class FlowTransfer:
+    """One data transfer (think: a TCP flow) through the fabric.
+
+    The ``done`` Signal succeeds with the flow when the last byte arrives,
+    or fails with a :class:`~repro.errors.NetworkError`.
+    """
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        network: "Network",
+        src: str,
+        dst: str,
+        size: float,
+        flow_key: Hashable,
+        rate_cap: Optional[float],
+        tag: str,
+    ) -> None:
+        FlowTransfer._next_id += 1
+        self.flow_id = FlowTransfer._next_id
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.flow_key = flow_key if flow_key is not None else self.flow_id
+        self.rate_cap = rate_cap
+        self.tag = tag
+        self.state = FlowState.PENDING
+        self.done = Signal(network.sim, name=f"flow{self.flow_id}.done")
+
+        self.path: List[str] = []
+        self.directions: List[LinkDirection] = []
+        self.remaining = self.size
+        self.rate = 0.0
+        self.requested_at = network.sim.now
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._last_update = network.sim.now
+        self._completion_event: Optional[Event] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Transfer time from request to completion (None until done)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.requested_at
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Achieved mean throughput in bytes/s (None until done)."""
+        duration = self.duration
+        if duration is None or duration <= 0:
+            return None
+        return self.size / duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Flow {self.flow_id} {self.src}->{self.dst} "
+            f"{self.state.value} {self.remaining:.0f}/{self.size:.0f}B>"
+        )
+
+
+class Network:
+    """The fabric: links + active flows + the fair-share rate solver."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        path_service: Optional[PathService] = None,
+        congestion_threshold: float = 0.9,
+    ) -> None:
+        topology.validate()
+        self.sim = sim
+        self.topology = topology
+        self.path_service: PathService = path_service or ShortestPathRouting(sim, topology)
+        self.congestion_threshold = congestion_threshold
+
+        self._links: Dict[frozenset, Link] = {}
+        for a, b, spec in topology.edges():
+            self._links[frozenset((a, b))] = Link(sim, a, b, spec.bandwidth, spec.latency)
+
+        self._active: set[FlowTransfer] = set()
+        self.flows_started = Counter(sim, "net.flows.started")
+        self.flows_completed = Counter(sim, "net.flows.completed")
+        self.flows_failed = Counter(sim, "net.flows.failed")
+        self.bytes_delivered = Counter(sim, "net.bytes.delivered")
+        self.flow_durations = TimeSeries("net.flow.durations")
+        # Observers called with each flow as it completes or fails
+        # (trace recorders, TE telemetry, ...).
+        self.flow_observers: list = []
+
+    # -- link access ---------------------------------------------------------
+
+    def link(self, a: str, b: str) -> Link:
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError:
+            raise NetworkError(f"no link between {a!r} and {b!r}") from None
+
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    def direction(self, src: str, dst: str) -> LinkDirection:
+        return self.link(src, dst).direction(src, dst)
+
+    # -- link failure ----------------------------------------------------------
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Cut a cable: active flows over it fail; routing recomputes."""
+        link = self.link(a, b)
+        if not link.up:
+            return
+        link.up = False
+        if hasattr(self.path_service, "mark_link"):
+            self.path_service.mark_link(a, b, up=False)
+        else:
+            self.path_service.invalidate()
+        victims = [
+            flow
+            for flow in self._active
+            if any(d.link is link for d in flow.directions)
+        ]
+        for flow in victims:
+            self._fail_flow(
+                flow, ConnectionResetError(f"link {a}<->{b} failed mid-transfer")
+            )
+        self._recompute()
+
+    def repair_link(self, a: str, b: str) -> None:
+        link = self.link(a, b)
+        if link.up:
+            return
+        link.up = True
+        if hasattr(self.path_service, "mark_link"):
+            self.path_service.mark_link(a, b, up=True)
+        else:
+            self.path_service.invalidate()
+
+    # -- transfers ---------------------------------------------------------------
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        nbytes: float,
+        flow_key: Hashable = None,
+        rate_cap: Optional[float] = None,
+        tag: str = "",
+    ) -> FlowTransfer:
+        """Start a transfer of ``nbytes`` from ``src`` to ``dst``.
+
+        Returns immediately with a :class:`FlowTransfer`; wait on its
+        ``done`` signal for completion.  A zero-byte transfer still pays
+        the path's propagation latency (it models a control message).
+        """
+        if nbytes < 0:
+            raise NetworkError(f"cannot transfer {nbytes} bytes")
+        for node in (src, dst):
+            if node not in self.topology.graph:
+                raise NetworkError(f"unknown endpoint {node!r}")
+        flow = FlowTransfer(self, src, dst, nbytes, flow_key, rate_cap, tag)
+        self.sim.process(self._run_flow(flow), name=f"flow{flow.flow_id}")
+        return flow
+
+    def _run_flow(self, flow: FlowTransfer):
+        try:
+            path = yield self.path_service.resolve(flow.src, flow.dst, flow.flow_key)
+        except NoRouteError as exc:
+            self._fail_flow(flow, exc)
+            return
+        try:
+            directions = self._directions_for(path)
+        except NetworkError as exc:
+            self._fail_flow(flow, exc)
+            return
+        flow.path = list(path)
+        flow.directions = directions
+        # Propagation: the first byte takes the path's total latency.
+        total_latency = sum(d.latency for d in directions)
+        if total_latency > 0:
+            yield Timeout(self.sim, total_latency)
+        if flow.state is not FlowState.PENDING:
+            return  # failed while propagating
+        # A link may have died during the propagation window.
+        dead = [d for d in directions if not d.link.up]
+        if dead:
+            self._fail_flow(flow, NoRouteError(
+                f"link {dead[0].link.a}<->{dead[0].link.b} failed "
+                "while the flow was being established"
+            ))
+            return
+        self._activate(flow)
+
+    def _directions_for(self, path: List[str]) -> List[LinkDirection]:
+        directions = []
+        for a, b in path_links(path):
+            link = self.link(a, b)
+            if not link.up:
+                raise NoRouteError(f"path uses failed link {a}<->{b}")
+            directions.append(link.direction(a, b))
+        return directions
+
+    def _activate(self, flow: FlowTransfer) -> None:
+        flow.state = FlowState.ACTIVE
+        flow.started_at = self.sim.now
+        flow._last_update = self.sim.now
+        self.flows_started.add()
+        if flow.remaining <= _EPSILON_BYTES:
+            self._complete(flow)
+            return
+        self._active.add(flow)
+        for direction in flow.directions:
+            direction.flows.add(flow)
+        self._recompute()
+
+    def reroute(self, flow: FlowTransfer, new_path: List[str]) -> None:
+        """Move an active flow onto a different path (SDN TE hook)."""
+        if flow.state is not FlowState.ACTIVE:
+            raise NetworkError(f"cannot reroute flow in state {flow.state.value}")
+        if new_path[0] != flow.src or new_path[-1] != flow.dst:
+            raise NetworkError(
+                f"reroute path must join {flow.src!r} to {flow.dst!r}"
+            )
+        directions = self._directions_for(new_path)
+        self._settle(flow)
+        for direction in flow.directions:
+            direction.flows.discard(flow)
+        flow.path = list(new_path)
+        flow.directions = directions
+        for direction in directions:
+            direction.flows.add(flow)
+        self._recompute()
+
+    # -- the fluid model ----------------------------------------------------------
+
+    def _settle(self, flow: FlowTransfer) -> None:
+        """Bring a flow's remaining-bytes up to date with the clock."""
+        if math.isinf(flow.rate):
+            # Unconstrained flow (e.g. loopback): drains instantly.
+            flow.remaining = 0.0
+            flow._last_update = self.sim.now
+            return
+        elapsed = self.sim.now - flow._last_update
+        if elapsed > 0 and flow.rate > 0:
+            moved = min(flow.remaining, flow.rate * elapsed)
+            flow.remaining -= moved
+            for direction in flow.directions:
+                direction.bytes_carried.add(moved)
+        flow._last_update = self.sim.now
+
+    def _recompute(self) -> None:
+        """Re-solve fair-share rates and reschedule completions."""
+        for flow in self._active:
+            self._settle(flow)
+
+        flow_paths = {flow: flow.directions for flow in self._active}
+        capacities: Dict[LinkDirection, float] = {}
+        for flow in self._active:
+            for direction in flow.directions:
+                capacities[direction] = direction.capacity
+        rate_caps = {
+            flow: flow.rate_cap for flow in self._active if flow.rate_cap is not None
+        }
+        rates = max_min_rates(flow_paths, capacities, rate_caps)
+
+        for flow in self._active:
+            flow.rate = rates[flow]
+            if flow._completion_event is not None:
+                flow._completion_event.cancel()
+                flow._completion_event = None
+            if flow.rate > 0 and math.isfinite(flow.rate):
+                eta = flow.remaining / flow.rate
+                flow._completion_event = self.sim.schedule(eta, self._complete, flow)
+            elif math.isinf(flow.rate):
+                flow._completion_event = self.sim.schedule(0.0, self._complete, flow)
+            # rate == 0: stalled (no capacity); it will be rescheduled by
+            # the next recompute that frees capacity.
+
+        # Refresh per-direction loads and congestion accounting.
+        loads: Dict[LinkDirection, float] = {}
+        for flow in self._active:
+            if not math.isfinite(flow.rate):
+                continue
+            for direction in flow.directions:
+                loads[direction] = loads.get(direction, 0.0) + flow.rate
+        for link in self._links.values():
+            for direction in (link.forward, link.reverse):
+                direction.set_load(loads.get(direction, 0.0), self.congestion_threshold)
+
+    def _complete(self, flow: FlowTransfer) -> None:
+        if flow.state is not FlowState.ACTIVE:
+            return
+        self._settle(flow)
+        if flow.remaining > _EPSILON_BYTES and flow.remaining > flow.size * 1e-9:
+            # Either a stale wakeup (a reroute slowed the flow down after
+            # this event was scheduled) or floating-point rounding left a
+            # hair of residue.  Re-arm completion for whatever remains so
+            # the flow always makes progress; a zero rate waits for the
+            # next recompute instead.
+            if flow.rate > 0 and math.isfinite(flow.rate):
+                flow._completion_event = self.sim.schedule(
+                    flow.remaining / flow.rate, self._complete, flow
+                )
+            return
+        flow.remaining = 0.0
+        flow.state = FlowState.DONE
+        flow.completed_at = self.sim.now
+        self._detach(flow)
+        self.flows_completed.add()
+        self.bytes_delivered.add(flow.size)
+        self.flow_durations.record(self.sim.now, flow.duration or 0.0)
+        # Re-solve rates *before* waking waiters, so code resumed by this
+        # completion observes post-completion link loads.
+        self._recompute()
+        for observer in self.flow_observers:
+            observer(flow)
+        flow.done.succeed(flow)
+
+    def _fail_flow(self, flow: FlowTransfer, exc: NetworkError) -> None:
+        if flow.state in (FlowState.DONE, FlowState.FAILED):
+            return
+        was_active = flow.state is FlowState.ACTIVE
+        flow.state = FlowState.FAILED
+        self._detach(flow)
+        self.flows_failed.add()
+        for observer in self.flow_observers:
+            observer(flow)
+        flow.done.fail(exc)
+        if was_active:
+            self._recompute()
+
+    def _detach(self, flow: FlowTransfer) -> None:
+        self._active.discard(flow)
+        for direction in flow.directions:
+            direction.flows.discard(flow)
+        if flow._completion_event is not None:
+            flow._completion_event.cancel()
+            flow._completion_event = None
+
+    # -- reporting ------------------------------------------------------------------
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._active)
+
+    def active_flows(self) -> list[FlowTransfer]:
+        return sorted(self._active, key=lambda f: f.flow_id)
+
+    def congestion_report(self) -> list[dict[str, object]]:
+        """Per-direction congestion summary, worst first (experiment C2)."""
+        rows = []
+        for link in self._links.values():
+            for direction in (link.forward, link.reverse):
+                direction.finalize_congestion()
+                rows.append(
+                    {
+                        "direction": direction.name,
+                        "mean_util": direction.mean_utilization(),
+                        "congested_s": direction.congested_seconds,
+                        "episodes": direction.congestion_episodes,
+                        "bytes": direction.bytes_carried.total,
+                    }
+                )
+        rows.sort(key=lambda r: (-r["congested_s"], -r["mean_util"]))
+        return rows

@@ -1,0 +1,106 @@
+"""Max-min fair bandwidth allocation by progressive filling.
+
+Given a set of flows, each traversing a list of capacitated resources
+(directed link halves) and optionally rate-capped (e.g. by the sender's
+NIC), compute the max-min fair rate vector: rates rise together until a
+resource saturates; flows through a saturated resource freeze at their
+current rate; the rest keep rising.
+
+This is the textbook fluid model for TCP-dominated data-centre traffic
+and the fidelity level at which the paper's congestion arguments operate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Sequence
+
+FlowId = Hashable
+ResourceId = Hashable
+
+_EPSILON = 1e-9
+
+
+def max_min_rates(
+    flow_paths: Mapping[FlowId, Sequence[ResourceId]],
+    capacities: Mapping[ResourceId, float],
+    rate_caps: Mapping[FlowId, float] | None = None,
+) -> Dict[FlowId, float]:
+    """Compute max-min fair rates.
+
+    ``flow_paths`` maps each flow to the resources it traverses (a flow
+    with an empty path is only limited by its rate cap, or unbounded).
+    ``capacities`` gives each resource's capacity; ``rate_caps`` optionally
+    caps individual flows.  Returns the rate for every flow.
+
+    Raises ``ValueError`` on a flow referencing an unknown resource or on
+    non-positive capacities.
+    """
+    rate_caps = dict(rate_caps or {})
+    for resource, capacity in capacities.items():
+        if capacity <= 0:
+            raise ValueError(f"resource {resource!r} capacity must be positive")
+    for flow, path in flow_paths.items():
+        for resource in path:
+            if resource not in capacities:
+                raise ValueError(f"flow {flow!r} uses unknown resource {resource!r}")
+        cap = rate_caps.get(flow)
+        if cap is not None and cap < 0:
+            raise ValueError(f"flow {flow!r} has negative rate cap")
+
+    rates: Dict[FlowId, float] = {flow: 0.0 for flow in flow_paths}
+    active = {
+        flow
+        for flow in flow_paths
+        if rate_caps.get(flow, math.inf) > _EPSILON
+    }
+    remaining = {res: float(cap) for res, cap in capacities.items()}
+    # How many *active* flows cross each resource.
+    crossing: Dict[ResourceId, int] = {res: 0 for res in capacities}
+    for flow in active:
+        for res in flow_paths[flow]:
+            crossing[res] += 1
+
+    while active:
+        # The next rate increment is the smallest of: each loaded
+        # resource's equal share of its remaining capacity, and each
+        # active flow's distance to its cap.
+        increment = math.inf
+        for res, count in crossing.items():
+            if count > 0:
+                increment = min(increment, remaining[res] / count)
+        for flow in active:
+            cap = rate_caps.get(flow)
+            if cap is not None:
+                increment = min(increment, cap - rates[flow])
+        if not math.isfinite(increment):
+            # Active flows with no constrained resources and no cap:
+            # unbounded in the model; give them "infinite" rate.
+            for flow in active:
+                rates[flow] = math.inf
+            break
+
+        increment = max(increment, 0.0)
+        for flow in active:
+            rates[flow] += increment
+            for res in flow_paths[flow]:
+                remaining[res] -= increment
+
+        # Freeze flows that hit a saturated resource or their own cap.
+        frozen = set()
+        for flow in active:
+            cap = rate_caps.get(flow)
+            if cap is not None and rates[flow] >= cap - _EPSILON:
+                frozen.add(flow)
+                continue
+            if any(remaining[res] <= _EPSILON for res in flow_paths[flow]):
+                frozen.add(flow)
+        if not frozen:
+            # Numerical safety: freeze everything rather than loop forever.
+            frozen = set(active)
+        for flow in frozen:
+            active.discard(flow)
+            for res in flow_paths[flow]:
+                crossing[res] -= 1
+
+    return rates

@@ -1,0 +1,120 @@
+"""Links: full-duplex cables between fabric nodes.
+
+A :class:`Link` joins two nodes and owns one :class:`LinkDirection` per
+direction.  Each direction has independent capacity (full duplex, as real
+Ethernet), carries a set of active flows, and keeps an exact utilisation
+gauge plus congestion accounting -- the raw material for the paper's
+"consolidation causes congestion episodes" cross-layer experiments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.sim.kernel import Simulator
+from repro.telemetry.series import Counter, Gauge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.netsim.fabric import FlowTransfer
+
+
+class LinkDirection:
+    """One direction of a full-duplex link: the unit the fairness solver sees."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: "Link",
+        src: str,
+        dst: str,
+    ) -> None:
+        self.sim = sim
+        self.link = link
+        self.src = src
+        self.dst = dst
+        self.flows: Set["FlowTransfer"] = set()
+        self.utilization = Gauge(sim, name=f"{self.name}.util", initial=0.0)
+        self.bytes_carried = Counter(sim, name=f"{self.name}.bytes")
+        # Congestion accounting: time spent above the congestion threshold.
+        self._congested_since: Optional[float] = None
+        self.congested_seconds = 0.0
+        self.congestion_episodes = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    @property
+    def capacity(self) -> float:
+        return self.link.bandwidth
+
+    @property
+    def latency(self) -> float:
+        return self.link.latency
+
+    def set_load(self, bytes_per_s: float, congestion_threshold: float) -> None:
+        """Fabric hook: aggregate flow rate on this direction changed."""
+        fraction = bytes_per_s / self.capacity if self.capacity > 0 else 0.0
+        self.utilization.set(fraction)
+        now = self.sim.now
+        if fraction >= congestion_threshold:
+            if self._congested_since is None:
+                self._congested_since = now
+                self.congestion_episodes += 1
+        else:
+            if self._congested_since is not None:
+                self.congested_seconds += now - self._congested_since
+                self._congested_since = None
+
+    def finalize_congestion(self) -> None:
+        """Close an open congestion interval at the current clock (end of run)."""
+        if self._congested_since is not None:
+            self.congested_seconds += self.sim.now - self._congested_since
+            self._congested_since = self.sim.now
+
+    def mean_utilization(self, start: float | None = None, end: float | None = None) -> float:
+        return self.utilization.time_weighted_mean(start, end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LinkDirection {self.name} {len(self.flows)} flows>"
+
+
+class Link:
+    """A full-duplex cable: two directions sharing bandwidth/latency specs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: str,
+        b: str,
+        bandwidth: float,
+        latency: float = 0.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"link {a}<->{b}: bandwidth must be positive")
+        if latency < 0:
+            raise ValueError(f"link {a}<->{b}: latency must be >= 0")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.up = True
+        self.forward = LinkDirection(sim, self, a, b)
+        self.reverse = LinkDirection(sim, self, b, a)
+
+    def direction(self, src: str, dst: str) -> LinkDirection:
+        """The directed half carrying traffic ``src -> dst``."""
+        if (src, dst) == (self.a, self.b):
+            return self.forward
+        if (src, dst) == (self.b, self.a):
+            return self.reverse
+        raise KeyError(f"link {self.a}<->{self.b} does not join {src}->{dst}")
+
+    @property
+    def endpoints(self) -> tuple[str, str]:
+        return (self.a, self.b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.up else "down"
+        return f"<Link {self.a}<->{self.b} {state}>"

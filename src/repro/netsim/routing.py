@@ -1,0 +1,142 @@
+"""Path services: who decides which way a flow goes.
+
+The fabric asks a :class:`PathService` for a node path when a flow starts.
+Two static services live here; the OpenFlow/SDN reactive service (with a
+real control-plane round trip) is in :mod:`repro.netsim.sdn.controller`.
+
+Both static services honour link failures: the fabric bumps
+``invalidate()`` when the wiring changes, flushing cached paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Hashable, List, Optional, Protocol, Sequence
+
+import networkx as nx
+
+from repro.errors import NoRouteError
+from repro.netsim.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.process import Signal
+
+
+class PathService(Protocol):
+    """Resolves a (src, dst, flow_key) to a node path, possibly asynchronously."""
+
+    def resolve(self, src: str, dst: str, flow_key: Hashable) -> Signal:
+        """Return a Signal succeeding with ``[src, ..., dst]`` or failing
+        with :class:`~repro.errors.NoRouteError`."""
+        ...
+
+    def invalidate(self) -> None:
+        """Flush cached state after a topology change (link failure/repair)."""
+        ...
+
+
+class _StaticBase:
+    """Shared machinery: a working graph that excludes failed links."""
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._down_edges: set[frozenset[str]] = set()
+        self._graph_cache: Optional[nx.Graph] = None
+
+    def mark_link(self, a: str, b: str, up: bool) -> None:
+        """Fabric hook: a link changed state."""
+        edge = frozenset((a, b))
+        if up:
+            self._down_edges.discard(edge)
+        else:
+            self._down_edges.add(edge)
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        self._graph_cache = None
+
+    def _working_graph(self) -> nx.Graph:
+        if self._graph_cache is None:
+            graph = self.topology.graph.copy()
+            for edge in self._down_edges:
+                a, b = tuple(edge)
+                if graph.has_edge(a, b):
+                    graph.remove_edge(a, b)
+            self._graph_cache = graph
+        return self._graph_cache
+
+    def _fail(self, src: str, dst: str) -> Signal:
+        signal = Signal(self.sim, name=f"route:{src}->{dst}")
+        signal.fail(NoRouteError(f"no path from {src!r} to {dst!r}"))
+        return signal
+
+    def _immediate(self, path: List[str]) -> Signal:
+        signal = Signal(self.sim, name="route")
+        signal.succeed(path)
+        return signal
+
+
+class ShortestPathRouting(_StaticBase):
+    """Deterministic single shortest path per (src, dst), cached.
+
+    This is the non-SDN baseline: every flow between the same endpoints
+    takes the same path, so multi-root redundancy goes unused -- exactly
+    the behaviour SDN traffic engineering improves on in experiment C3.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        super().__init__(sim, topology)
+        self._paths: Dict[tuple[str, str], List[str]] = {}
+
+    def invalidate(self) -> None:
+        super().invalidate()
+        self._paths = {}
+
+    def resolve(self, src: str, dst: str, flow_key: Hashable = None) -> Signal:
+        if src == dst:
+            return self._immediate([src])
+        key = (src, dst)
+        if key not in self._paths:
+            try:
+                self._paths[key] = nx.shortest_path(self._working_graph(), src, dst)
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                return self._fail(src, dst)
+        return self._immediate(list(self._paths[key]))
+
+
+class EcmpRouting(_StaticBase):
+    """Equal-cost multi-path: hash the flow key over all shortest paths.
+
+    Models per-flow ECMP as deployed in real DCs: each flow picks one of
+    the equal-cost paths by a deterministic hash, so distinct flows spread
+    across the multi-root tree but a single elephant flow still collides.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology) -> None:
+        super().__init__(sim, topology)
+        self._path_sets: Dict[tuple[str, str], List[List[str]]] = {}
+
+    def invalidate(self) -> None:
+        super().invalidate()
+        self._path_sets = {}
+
+    def resolve(self, src: str, dst: str, flow_key: Hashable = None) -> Signal:
+        if src == dst:
+            return self._immediate([src])
+        key = (src, dst)
+        if key not in self._path_sets:
+            try:
+                paths = [list(p) for p in nx.all_shortest_paths(self._working_graph(), src, dst)]
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                return self._fail(src, dst)
+            # Sort for determinism independent of networkx iteration order.
+            self._path_sets[key] = sorted(paths)
+        paths = self._path_sets[key]
+        digest = hashlib.sha256(repr((src, dst, flow_key)).encode()).digest()
+        index = int.from_bytes(digest[:4], "big") % len(paths)
+        return self._immediate(list(paths[index]))
+
+
+def path_links(path: Sequence[str]) -> list[tuple[str, str]]:
+    """Expand a node path into its ordered directed hops."""
+    return [(path[i], path[i + 1]) for i in range(len(path) - 1)]

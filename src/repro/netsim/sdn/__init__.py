@@ -1,0 +1,38 @@
+"""Software-Defined Networking: the PiCloud's OpenFlow control plane.
+
+The paper's aggregation layer is OpenFlow-enabled specifically to make the
+topology "fully programmable" (§II-A) and to enable logically-centralised
+resource management (§IV).  This package models that control plane at the
+granularity that matters for resource-management research:
+
+* :mod:`~repro.netsim.sdn.openflow` -- flow tables with idle timeouts on
+  OpenFlow-enabled switches, plus the PacketIn / FlowMod message types.
+* :mod:`~repro.netsim.sdn.controller` -- the centralised controller and
+  the reactive :class:`~repro.netsim.sdn.controller.OpenFlowPathService`:
+  a table miss costs a real control-plane round trip before the flow can
+  start; cached entries forward at line rate.
+* :mod:`~repro.netsim.sdn.apps` -- controller applications: shortest
+  path, ECMP hashing, least-congested path selection, and a Hedera-style
+  elephant-flow rerouter.
+"""
+
+from repro.netsim.sdn.apps import (
+    EcmpHashApp,
+    ElephantRerouter,
+    LeastCongestedPathApp,
+    ShortestPathApp,
+)
+from repro.netsim.sdn.controller import OpenFlowPathService, SdnController
+from repro.netsim.sdn.openflow import FlowEntry, FlowTable, OpenFlowSwitch
+
+__all__ = [
+    "EcmpHashApp",
+    "ElephantRerouter",
+    "FlowEntry",
+    "FlowTable",
+    "LeastCongestedPathApp",
+    "OpenFlowPathService",
+    "OpenFlowSwitch",
+    "SdnController",
+    "ShortestPathApp",
+]

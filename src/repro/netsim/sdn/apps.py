@@ -1,0 +1,174 @@
+"""Controller applications: the policies centralised control enables.
+
+The paper (§IV) argues SDN's "global view of the network will enhance
+overall resource management ... with finer granularity management
+policies".  These apps are those policies:
+
+* :class:`ShortestPathApp` -- deterministic baseline.
+* :class:`EcmpHashApp` -- per-flow hashing across equal-cost paths.
+* :class:`LeastCongestedPathApp` -- uses the controller's live link-stats
+  view to place each new flow on the least-loaded candidate path.  Only a
+  centralised control plane can do this; it is the experiment-C3 winner.
+* :class:`ElephantRerouter` -- a Hedera-style background process that
+  periodically moves the biggest flows off congested links.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from itertools import islice
+from typing import Hashable, List, Optional
+
+import networkx as nx
+
+from repro.errors import NoRouteError
+from repro.netsim.fabric import Network
+from repro.netsim.routing import path_links
+from repro.sim.kernel import Simulator
+from repro.sim.process import Timeout
+
+
+def _all_shortest(graph: nx.Graph, src: str, dst: str) -> List[List[str]]:
+    try:
+        return sorted([list(p) for p in nx.all_shortest_paths(graph, src, dst)])
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        raise NoRouteError(f"no path from {src!r} to {dst!r}") from None
+
+
+class ShortestPathApp:
+    """Always the lexicographically-first shortest path (static baseline)."""
+
+    def compute_path(self, graph, src, dst, flow_key, controller):
+        return _all_shortest(graph, src, dst)[0]
+
+
+class EcmpHashApp:
+    """Hash the flow key across all equal-cost shortest paths."""
+
+    def compute_path(self, graph, src, dst, flow_key, controller):
+        paths = _all_shortest(graph, src, dst)
+        digest = hashlib.sha256(repr((src, dst, flow_key)).encode()).digest()
+        return paths[int.from_bytes(digest[:4], "big") % len(paths)]
+
+
+class LeastCongestedPathApp:
+    """Global-view traffic engineering: pick the least-loaded candidate.
+
+    Considers all equal-cost shortest paths plus up to ``extra_paths``
+    longer alternatives, scores each by the maximum current utilisation of
+    its directed links (read live from the fabric), and picks the minimum.
+    Requires ``controller.attach_network(...)`` to have been called.
+    """
+
+    def __init__(self, extra_paths: int = 2) -> None:
+        self.extra_paths = extra_paths
+
+    def compute_path(self, graph, src, dst, flow_key, controller):
+        candidates = _all_shortest(graph, src, dst)
+        if self.extra_paths > 0:
+            try:
+                longer = islice(
+                    nx.shortest_simple_paths(graph, src, dst),
+                    len(candidates) + self.extra_paths,
+                )
+                merged = {tuple(p) for p in candidates}
+                for path in longer:
+                    merged.add(tuple(path))
+                candidates = sorted([list(p) for p in merged], key=lambda p: (len(p), p))
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                raise NoRouteError(f"no path from {src!r} to {dst!r}") from None
+        network: Optional[Network] = controller.network
+        if network is None:
+            return candidates[0]
+
+        def worst_utilization(path: List[str]) -> float:
+            worst = 0.0
+            for a, b in path_links(path):
+                worst = max(worst, network.direction(a, b).utilization.value)
+            return worst
+
+        return min(candidates, key=lambda p: (worst_utilization(p), len(p), p))
+
+
+class ElephantRerouter:
+    """Hedera-style background TE: move big flows off congested links.
+
+    Every ``interval`` seconds, scans the fabric for directed links above
+    ``congestion_threshold``; for the largest flow on each, asks the
+    controller's app for a better path and reroutes if one is found.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        controller,
+        interval: float = 1.0,
+        congestion_threshold: float = 0.9,
+        min_flow_bytes: float = 1e6,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.controller = controller
+        self.interval = interval
+        self.congestion_threshold = congestion_threshold
+        self.min_flow_bytes = min_flow_bytes
+        self.reroutes = 0
+        self._stopped = False
+        self._process = sim.process(self._run(), name="elephant-rerouter")
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._process.interrupt("rerouter stopped")
+
+    def _run(self):
+        while not self._stopped:
+            yield Timeout(self.sim, self.interval)
+            self._scan_once()
+
+    def _scan_once(self) -> None:
+        graph = self.controller.working_graph()
+        for flow in self._elephants_on_hot_links():
+            try:
+                candidates = sorted(
+                    [list(p) for p in nx.all_shortest_paths(graph, flow.src, flow.dst)]
+                )
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                continue
+
+            def worst(path: List[str]) -> float:
+                return max(
+                    (
+                        self.network.direction(a, b).utilization.value
+                        for a, b in path_links(path)
+                        # A link's own contribution from this flow is
+                        # unavoidable on its first/last hop; still counts.
+                    ),
+                    default=0.0,
+                )
+
+            best = min(candidates, key=lambda p: (worst(p), p))
+            if best != flow.path and worst(best) < self._flow_worst(flow):
+                self.network.reroute(flow, best)
+                self.controller.install_path(best, idle_timeout=60.0)
+                self.reroutes += 1
+
+    def _flow_worst(self, flow) -> float:
+        return max(
+            (d.utilization.value for d in flow.directions), default=0.0
+        )
+
+    def _elephants_on_hot_links(self):
+        seen = set()
+        for link in self.network.links():
+            for direction in (link.forward, link.reverse):
+                if direction.utilization.value < self.congestion_threshold:
+                    continue
+                big = [
+                    f for f in direction.flows
+                    if f.size >= self.min_flow_bytes and f.flow_id not in seen
+                ]
+                big.sort(key=lambda f: -f.remaining)
+                for flow in big[:1]:  # one per hot link per scan
+                    seen.add(flow.flow_id)
+                    yield flow

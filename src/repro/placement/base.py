@@ -1,0 +1,90 @@
+"""Placement protocol: requests, node views, and the policy interface.
+
+Policies are pure functions over immutable snapshots, so they are
+trivially unit-testable and the same policy code runs in the pimaster,
+in the consolidator, and in offline what-if analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence
+
+from repro.errors import PlacementError
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """What a new container needs from its host."""
+
+    image: str
+    memory_bytes: int
+    cpu_shares: int = 1024
+    cpu_quota: Optional[float] = None
+    # Scheduling hints:
+    same_rack_as: Optional[str] = None      # rack name to prefer/require
+    avoid_racks: tuple[str, ...] = field(default_factory=tuple)
+    anti_affinity_group: Optional[str] = None  # spread members apart
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise PlacementError("placement request needs positive memory")
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """An immutable snapshot of one candidate host."""
+
+    node_id: str
+    rack: Optional[str]
+    memory_available: int
+    memory_capacity: int
+    cpu_load: float                  # instantaneous utilisation [0, 1]
+    running_containers: int
+    powered_on: bool = True
+    uplink_utilization: float = 0.0  # the host's access-link load [0, 1]
+    groups: tuple[str, ...] = field(default_factory=tuple)  # anti-affinity groups present
+
+    def fits(self, request: PlacementRequest) -> bool:
+        """Hard feasibility: powered on, memory available, rack filters."""
+        if not self.powered_on:
+            return False
+        if self.memory_available < request.memory_bytes:
+            return False
+        if self.rack is not None and self.rack in request.avoid_racks:
+            return False
+        return True
+
+
+class PlacementPolicy(Protocol):
+    """Chooses a host for a request, or raises :class:`PlacementError`."""
+
+    def choose(self, request: PlacementRequest, nodes: Sequence[NodeView]) -> str:
+        """Return the chosen ``node_id``."""
+        ...
+
+
+def feasible(request: PlacementRequest, nodes: Sequence[NodeView]) -> list[NodeView]:
+    """Filter to nodes that can host the request; stable order preserved.
+
+    Applies anti-affinity softly: if spreading is requested and some
+    feasible node lacks the group, group-holding nodes are dropped.
+    """
+    candidates = [view for view in nodes if view.fits(request)]
+    if request.anti_affinity_group is not None:
+        spread = [
+            view for view in candidates
+            if request.anti_affinity_group not in view.groups
+        ]
+        if spread:
+            candidates = spread
+    if request.same_rack_as is not None:
+        preferred = [view for view in candidates if view.rack == request.same_rack_as]
+        if preferred:
+            candidates = preferred
+    if not candidates:
+        raise PlacementError(
+            f"no feasible node for request (image={request.image!r}, "
+            f"memory={request.memory_bytes}B, {len(nodes)} nodes considered)"
+        )
+    return candidates

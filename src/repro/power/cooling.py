@@ -1,0 +1,37 @@
+"""Cooling overhead: the hidden multiplier on x86 testbeds.
+
+The paper cites cooling as "reportedly ... 33% of the total power
+consumption in Cloud DCs" and lists "Needs Cooling? Yes/No" as a Table I
+column.  If cooling is fraction ``f`` of *total* power, then for IT draw
+``P`` the cooling draw is ``P * f / (1 - f)`` -- about 0.5 W per IT watt
+at f = 1/3.
+"""
+
+from __future__ import annotations
+
+
+class CoolingModel:
+    """Cooling draw as a fraction of total facility power."""
+
+    def __init__(self, fraction_of_total: float = 1.0 / 3.0) -> None:
+        if not (0.0 <= fraction_of_total < 1.0):
+            raise ValueError("cooling fraction must be in [0, 1)")
+        self.fraction_of_total = fraction_of_total
+
+    @property
+    def overhead_per_it_watt(self) -> float:
+        """Cooling watts added per IT watt."""
+        f = self.fraction_of_total
+        return f / (1.0 - f)
+
+    def cooling_watts(self, it_watts: float, needs_cooling: bool) -> float:
+        if not needs_cooling:
+            return 0.0
+        return it_watts * self.overhead_per_it_watt
+
+    def total_watts(self, it_watts: float, needs_cooling: bool) -> float:
+        return it_watts + self.cooling_watts(it_watts, needs_cooling)
+
+    def effective_pue(self, needs_cooling: bool) -> float:
+        """Power Usage Effectiveness implied by this model."""
+        return 1.0 + (self.overhead_per_it_watt if needs_cooling else 0.0)

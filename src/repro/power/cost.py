@@ -1,0 +1,120 @@
+"""Capex/opex arithmetic and the Table I generator.
+
+Table I of the paper compares a 56-machine commodity-x86 testbed against
+the 56-Pi PiCloud:
+
+======== =========================== ============================ ==============
+Testbed  Server cost                 Power                        Needs cooling?
+======== =========================== ============================ ==============
+x86      $112,000 (@$2,000)          10,080 W (@180 W)            Yes
+PiCloud  $1,960 (@$35)               196 W (@3.5 W)               No
+======== =========================== ============================ ==============
+
+(The paper writes the power column as "W/h"; the figures are peak watts
+per machine times machine count.)  :func:`table1_rows` regenerates the
+table from the hardware catalog; :class:`CostModel` extends it with
+energy opex for total-cost-of-ownership sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.catalog import COMMODITY_X86_SERVER, RASPBERRY_PI_MODEL_B
+from repro.hardware.specs import MachineSpec
+from repro.power.cooling import CoolingModel
+from repro.units import YEAR
+
+DEFAULT_ELECTRICITY_USD_PER_KWH = 0.12
+
+
+@dataclass(frozen=True)
+class TestbedCostRow:
+    """One row of Table I (plus derived fields)."""
+
+    label: str
+    machine_count: int
+    unit_cost_usd: float
+    capex_usd: float
+    unit_watts: float
+    total_watts: float
+    needs_cooling: bool
+
+    def as_paper_row(self) -> dict[str, str]:
+        """Formatted exactly like the paper's table cells."""
+        return {
+            "testbed": self.label,
+            "server": f"${self.capex_usd:,.0f} (@${self.unit_cost_usd:,.0f})",
+            "power": f"{self.total_watts:,.0f}W/h (@{self.unit_watts:g}W/h)",
+            "needs_cooling": "Yes" if self.needs_cooling else "No",
+        }
+
+
+def cost_row(label: str, spec: MachineSpec, count: int) -> TestbedCostRow:
+    """Build a Table I row from a catalog spec."""
+    if count < 1:
+        raise ValueError("machine count must be >= 1")
+    unit_watts = spec.power.peak_watts
+    return TestbedCostRow(
+        label=label,
+        machine_count=count,
+        unit_cost_usd=spec.unit_cost_usd,
+        capex_usd=spec.unit_cost_usd * count,
+        unit_watts=unit_watts,
+        total_watts=unit_watts * count,
+        needs_cooling=spec.power.needs_cooling,
+    )
+
+
+def table1_rows(count: int = 56) -> list[TestbedCostRow]:
+    """Regenerate Table I for ``count`` machines (the paper uses 56)."""
+    return [
+        cost_row("Testbed", COMMODITY_X86_SERVER, count),
+        cost_row("PiCloud", RASPBERRY_PI_MODEL_B, count),
+    ]
+
+
+class CostModel:
+    """Total cost of ownership: capex + powered-on opex (+ cooling)."""
+
+    def __init__(
+        self,
+        electricity_usd_per_kwh: float = DEFAULT_ELECTRICITY_USD_PER_KWH,
+        cooling: CoolingModel | None = None,
+    ) -> None:
+        if electricity_usd_per_kwh < 0:
+            raise ValueError("electricity price must be >= 0")
+        self.electricity_usd_per_kwh = electricity_usd_per_kwh
+        self.cooling = cooling or CoolingModel()
+
+    def energy_cost_usd(self, joules: float, needs_cooling: bool) -> float:
+        """Opex for measured IT energy, including cooling overhead."""
+        total_joules = self.cooling.total_watts(1.0, needs_cooling) * joules
+        return total_joules / 3.6e6 * self.electricity_usd_per_kwh
+
+    def annual_opex_usd(self, spec: MachineSpec, count: int,
+                        mean_utilization: float = 0.5) -> float:
+        """Steady-state yearly electricity bill for a testbed."""
+        it_watts = spec.power.watts_at(mean_utilization) * count
+        total = self.cooling.total_watts(it_watts, spec.power.needs_cooling)
+        kwh = total * YEAR / 3.6e6
+        return kwh * self.electricity_usd_per_kwh
+
+    def tco_usd(self, spec: MachineSpec, count: int, years: float,
+                mean_utilization: float = 0.5) -> float:
+        """Capex plus ``years`` of opex."""
+        return (
+            spec.unit_cost_usd * count
+            + self.annual_opex_usd(spec, count, mean_utilization) * years
+        )
+
+    def payback_analysis(self, count: int = 56, years: float = 3.0) -> dict[str, float]:
+        """x86-vs-Pi TCO comparison over a horizon (extends Table I)."""
+        x86 = self.tco_usd(COMMODITY_X86_SERVER, count, years)
+        pi = self.tco_usd(RASPBERRY_PI_MODEL_B, count, years)
+        return {
+            "x86_tco_usd": x86,
+            "picloud_tco_usd": pi,
+            "savings_usd": x86 - pi,
+            "ratio": x86 / pi if pi > 0 else float("inf"),
+        }

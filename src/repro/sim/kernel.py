@@ -1,0 +1,182 @@
+"""Event loop and simulated clock.
+
+The :class:`Simulator` owns a priority queue of :class:`Event` objects keyed
+by ``(time, priority, sequence)``.  Everything in the PiCloud model --
+CPU schedulers, network flow completions, DHCP lease expiry, REST request
+handling -- ultimately becomes an event on this queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created via :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and may be cancelled with
+    :meth:`Simulator.cancel` (or :meth:`cancel` directly) any time before
+    they fire.  Comparison is by ``(time, priority, seq)`` so the heap is
+    stable: two events at the same instant fire in scheduling order.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} prio={self.priority} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulator: a clock plus an ordered event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "five seconds in")
+        sim.run()          # runs until the queue drains
+        assert sim.now == 5.0
+
+    Processes (see :mod:`repro.sim.process`) are spawned with
+    :meth:`process`, which is attached by that module to avoid a circular
+    import at definition time.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self.events_executed = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  Lower ``priority`` values fire
+        first among events scheduled for the same instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        event = Event(time, priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (lazy removal; the heap slot is skipped)."""
+        event.cancel()
+
+    # -- execution --------------------------------------------------------
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if none remained."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order.
+
+        Stops when the queue drains, when the next event lies strictly
+        beyond ``until`` (the clock is then advanced *to* ``until``), or
+        after ``max_events`` events -- whichever comes first.  ``run`` may
+        be called repeatedly to resume.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    return
+                next_time = self.peek()
+                if next_time is None:
+                    if until is not None and until > self._now:
+                        self._now = until
+                    return
+                if until is not None and next_time > until:
+                    self._now = until
+                    return
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued (O(n); for tests)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,204 @@
+"""Shared-resource primitives built on Signals.
+
+* :class:`Resource`  -- counted resource with FIFO queuing (mutex, slots).
+* :class:`Store`     -- FIFO queue of items; the mailbox used by sockets,
+  REST servers and daemons throughout the management plane.
+* :class:`TokenBucket` -- rate limiter used for request shaping in load
+  generators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.process import Signal
+
+
+class Resource:
+    """A counted resource with FIFO waiters.
+
+    ``yield resource.acquire()`` inside a process blocks until a slot is
+    free; every successful acquire must be paired with a ``release()``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Signal] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Signal:
+        """Return a Signal that succeeds when a slot is granted."""
+        grant = Signal(self.sim, name=f"acquire({self.name})")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Release one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            grant.succeed(self)  # slot transfers directly; _in_use unchanged
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of items.
+
+    ``put`` succeeds immediately while below capacity, otherwise queues.
+    ``get`` succeeds immediately when items are available, otherwise
+    queues.  Both return Signals, so processes simply ``yield store.get()``.
+    """
+
+    def __init__(
+        self, sim: Simulator, capacity: Optional[int] = None, name: str = ""
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError("Store capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+        self._putters: Deque[tuple[Signal, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        return len(self._getters)
+
+    def put(self, item: Any) -> Signal:
+        """Offer ``item``; the Signal succeeds once the item is accepted."""
+        done = Signal(self.sim, name=f"put({self.name})")
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            done.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            done.succeed(None)
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self._getters or self.capacity is None or len(self._items) < self.capacity:
+            self.put(item)
+            return True
+        return False
+
+    def get(self) -> Signal:
+        """Take the oldest item; the Signal succeeds with the item."""
+        got = Signal(self.sim, name=f"get({self.name})")
+        if self._items:
+            got.succeed(self._items.popleft())
+            self._drain_putters()
+        else:
+            self._getters.append(got)
+        return got
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(False, None)`` when empty."""
+        if not self._items:
+            return False, None
+        item = self._items.popleft()
+        self._drain_putters()
+        return True, item
+
+    def _drain_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            done, item = self._putters.popleft()
+            self._items.append(item)
+            done.succeed(None)
+
+
+class TokenBucket:
+    """A token-bucket rate limiter.
+
+    Tokens accrue at ``rate`` per second up to ``burst``.  ``consume(n)``
+    returns a Signal that succeeds once ``n`` tokens are available (and
+    removes them).  Requests are served FIFO.
+    """
+
+    def __init__(
+        self, sim: Simulator, rate: float, burst: float, name: str = ""
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise SimulationError("TokenBucket rate and burst must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.burst = burst
+        self.name = name
+        self._tokens = burst
+        self._last_refill = sim.now
+        self._waiters: Deque[tuple[Signal, float]] = deque()
+        self._wake_event = None
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.burst, self._tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def consume(self, amount: float = 1.0) -> Signal:
+        if amount > self.burst:
+            raise SimulationError(
+                f"cannot consume {amount} tokens; burst is {self.burst}"
+            )
+        grant = Signal(self.sim, name=f"tokens({self.name})")
+        self._waiters.append((grant, amount))
+        self._pump()
+        return grant
+
+    def _pump(self) -> None:
+        self._refill()
+        while self._waiters:
+            grant, amount = self._waiters[0]
+            if self._tokens >= amount:
+                self._tokens -= amount
+                self._waiters.popleft()
+                grant.succeed(None)
+            else:
+                needed = amount - self._tokens
+                delay = needed / self.rate
+                if self._wake_event is not None:
+                    self._wake_event.cancel()
+                self._wake_event = self.sim.schedule(delay, self._pump)
+                return
+        if self._wake_event is not None:
+            self._wake_event.cancel()
+            self._wake_event = None

@@ -1,0 +1,20 @@
+"""Telemetry: time series, summary statistics and periodic samplers.
+
+Every layer of the PiCloud records what it does -- CPU utilisation, link
+throughput, request latency, power draw -- into these primitives so that
+experiments and the management dashboard read from one consistent source.
+"""
+
+from repro.telemetry.monitor import MetricsRegistry, PeriodicSampler
+from repro.telemetry.series import Counter, Gauge, TimeSeries
+from repro.telemetry.stats import Summary, summarize
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "Summary",
+    "TimeSeries",
+    "summarize",
+]

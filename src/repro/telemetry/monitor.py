@@ -1,0 +1,98 @@
+"""Periodic samplers and a per-experiment metrics registry."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Timeout
+from repro.telemetry.series import Counter, Gauge, TimeSeries
+
+
+class PeriodicSampler:
+    """A background process sampling ``fn()`` every ``interval`` seconds.
+
+    This is the model of the pimaster's monitoring poller: the dashboard's
+    CPU-load graphs (paper Fig. 4) are fed by samplers like this one.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fn: Callable[[], float],
+        interval: float,
+        name: str = "",
+        duration: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("sampler interval must be positive")
+        self.sim = sim
+        self.fn = fn
+        self.interval = interval
+        self.series = TimeSeries(name)
+        self._duration = duration
+        self._stopped = False
+        self._process = sim.process(self._run(), name=f"sampler:{name}")
+
+    def _run(self):
+        deadline = None if self._duration is None else self.sim.now + self._duration
+        while not self._stopped:
+            self.series.record(self.sim.now, float(self.fn()))
+            if deadline is not None and self.sim.now + self.interval > deadline:
+                return
+            yield Timeout(self.sim, self.interval)
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._process.interrupt("sampler stopped")
+
+
+class MetricsRegistry:
+    """A namespace of gauges, counters and series for one component.
+
+    Components create their metrics through the registry so experiments can
+    enumerate everything that was measured::
+
+        metrics = MetricsRegistry(sim, prefix="node1")
+        util = metrics.gauge("cpu.util")
+        reqs = metrics.counter("http.requests")
+    """
+
+    def __init__(self, sim: Simulator, prefix: str = "") -> None:
+        self.sim = sim
+        self.prefix = prefix
+        self._gauges: Dict[str, Gauge] = {}
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def gauge(self, name: str, initial: float = 0.0) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(self.sim, self._qualify(name), initial)
+        return self._gauges[name]
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(self.sim, self._qualify(name))
+        return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(self._qualify(name))
+        return self._series[name]
+
+    def names(self) -> list[str]:
+        return sorted(
+            list(self._gauges) + list(self._counters) + list(self._series)
+        )
+
+    def snapshot(self) -> dict[str, float]:
+        """Current value of every gauge and counter (series excluded)."""
+        snap: dict[str, float] = {}
+        for name, gauge in self._gauges.items():
+            snap[name] = gauge.value
+        for name, counter in self._counters.items():
+            snap[name] = counter.total
+        return snap

@@ -1,0 +1,136 @@
+"""Time-series primitives: event series, step-function gauges, counters."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim.kernel import Simulator
+
+
+class TimeSeries:
+    """An append-only series of ``(time, value)`` observations.
+
+    Used for *event* samples (request latencies, flow completion times)
+    where each point is an independent measurement.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"series {self.name!r}: time went backwards "
+                f"({time} < {self.times[-1]})"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterable[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with ``start <= t < end`` (linear scan; fine for reports)."""
+        out = TimeSeries(self.name)
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                out.record(t, v)
+        return out
+
+
+class Gauge:
+    """A step-function gauge: holds its value until the next ``set``.
+
+    Supports exact time-weighted integration, which is what power meters
+    and utilisation accounting need (no sampling error)::
+
+        gauge.set(now, watts)
+        ...
+        joules = gauge.integral(t0, t1)
+    """
+
+    def __init__(self, sim: Simulator, name: str = "", initial: float = 0.0) -> None:
+        self.sim = sim
+        self.name = name
+        self.times: list[float] = [sim.now]
+        self.values: list[float] = [initial]
+
+    @property
+    def value(self) -> float:
+        return self.values[-1]
+
+    def set(self, value: float) -> None:
+        """Record a new level at the current simulated time."""
+        now = self.sim.now
+        if now == self.times[-1]:
+            self.values[-1] = value
+        else:
+            self.times.append(now)
+            self.values.append(value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.values[-1] + delta)
+
+    def integral(self, start: Optional[float] = None, end: Optional[float] = None) -> float:
+        """Exact integral of the step function over ``[start, end]``.
+
+        Defaults to the full recorded span up to the current clock.
+        """
+        if start is None:
+            start = self.times[0]
+        if end is None:
+            end = self.sim.now
+        if end < start:
+            raise ValueError(f"gauge {self.name!r}: end {end} before start {start}")
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            seg_start = max(t, start)
+            seg_end = self.times[i + 1] if i + 1 < len(self.times) else end
+            seg_end = min(seg_end, end)
+            if seg_end > seg_start:
+                total += v * (seg_end - seg_start)
+        return total
+
+    def time_weighted_mean(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> float:
+        if start is None:
+            start = self.times[0]
+        if end is None:
+            end = self.sim.now
+        span = end - start
+        if span <= 0:
+            return self.value
+        return self.integral(start, end) / span
+
+    def maximum(self) -> float:
+        return max(self.values)
+
+
+class Counter:
+    """A monotonically increasing counter (bytes sent, requests served)."""
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.total = 0.0
+        self._created_at = sim.now
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        self.total += amount
+
+    def rate(self) -> float:
+        """Average rate per second since creation."""
+        elapsed = self.sim.now - self._created_at
+        return self.total / elapsed if elapsed > 0 else 0.0

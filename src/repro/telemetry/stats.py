@@ -1,0 +1,68 @@
+"""Summary statistics for experiment reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def row(self) -> dict[str, float]:
+        """As a flat dict, for table printers."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+EMPTY_SUMMARY = Summary(0, float("nan"), float("nan"), float("nan"),
+                        float("nan"), float("nan"), float("nan"), float("nan"))
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary`; empty input yields NaN fields, count 0."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return EMPTY_SUMMARY
+    return Summary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std()),
+        minimum=float(data.min()),
+        p50=float(np.percentile(data, 50)),
+        p95=float(np.percentile(data, 95)),
+        p99=float(np.percentile(data, 99)),
+        maximum=float(data.max()),
+    )
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (used by benches and the dashboard)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Virtualisation layer: Linux Containers on the PiCloud (paper §II-B/C).
+
+The paper uses LXC -- operating-system-level virtualisation via cgroups --
+because Xen-style full virtualisation does not fit a 256 MB ARM board.
+This package models that stack:
+
+* :mod:`~repro.virt.image` -- container images (rootfs blobs with an idle
+  memory footprint) and the image library pimaster manages.
+* :mod:`~repro.virt.container` -- the container object and its LXC
+  lifecycle state machine.
+* :mod:`~repro.virt.lxc` -- the per-host runtime (`lxc-create`,
+  `lxc-start`, `lxc-freeze`, ... equivalents) enforcing memory-bounded
+  density: three ~30 MB containers per 256 MB Pi.
+* :mod:`~repro.virt.libvirt_api` -- a libvirt-flavoured facade (the paper
+  plans to adopt libvirt; we provide the adapter it describes).
+* :mod:`~repro.virt.migration` -- iterative pre-copy live migration over
+  the simulated fabric (the paper's named future work, implemented).
+"""
+
+from repro.virt.container import Container, ContainerState
+from repro.virt.image import ContainerImage, ImageLibrary, STANDARD_IMAGES
+from repro.virt.libvirt_api import Domain, LibvirtConnection
+from repro.virt.lxc import LxcRuntime
+from repro.virt.migration import MigrationReport, live_migrate
+
+__all__ = [
+    "Container",
+    "ContainerImage",
+    "ContainerState",
+    "Domain",
+    "ImageLibrary",
+    "LibvirtConnection",
+    "LxcRuntime",
+    "MigrationReport",
+    "STANDARD_IMAGES",
+    "live_migrate",
+]

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_routing_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--routing", "rip"])
+
+    def test_defaults_are_paper_scale(self):
+        args = build_parser().parse_args(["info"])
+        assert args.racks == 4 and args.pis == 14
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "$112,000 (@$2,000)" in out
+        assert "$1,960 (@$35)" in out
+        assert "capex ratio 57.1x" in out
+
+    def test_table1_custom_count(self, capsys):
+        assert main(["table1", "--count", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "$20,000" in out
+        assert "$350" in out
+
+    def test_info_small(self, capsys):
+        assert main(["info", "--racks", "1", "--pis", "2",
+                     "--routing", "shortest"]) == 0
+        out = capsys.readouterr().out
+        assert "pis" in out and "2" in out
+        assert "multi-root-tree" in out
+
+    def test_dashboard_small(self, capsys):
+        assert main(["dashboard", "--racks", "1", "--pis", "3",
+                     "--routing", "shortest", "--runtime", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "PiCloud control panel" in out
+        assert "web-1" in out and "db-1" in out
+
+    def test_storm_small(self, capsys):
+        assert main(["storm", "--racks", "2", "--pis", "2",
+                     "--routing", "sdn-least-congested",
+                     "--flows", "4", "--mb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "completion" in out
+        assert "agg" in out
+
+    def test_storm_rejects_single_rack(self, capsys):
+        assert main(["storm", "--racks", "1", "--pis", "2",
+                     "--routing", "shortest"]) == 2

@@ -1,0 +1,93 @@
+"""Integration tests for the runtime consolidator (experiment C2 machinery)."""
+
+import pytest
+
+from repro.core import PiCloud, PiCloudConfig
+from repro.placement import Consolidator, WorstFit
+
+
+@pytest.fixture
+def cloud():
+    config = PiCloudConfig.small(
+        racks=2, pis=2, start_monitoring=False, routing="shortest"
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    return cloud
+
+
+def spread_containers(cloud, count):
+    """Place containers with WorstFit so they spread across hosts."""
+    records = []
+    for i in range(count):
+        signal = cloud.spawn("base", name=f"c{i}", policy=WorstFit())
+        cloud.run_for(3600.0)
+        records.append(signal.value)
+    return records
+
+
+class TestConsolidator:
+    def test_plan_packs_spread_containers(self, cloud):
+        spread_containers(cloud, 4)  # one per node under WorstFit
+        runtimes = {n: d.runtime for n, d in cloud.daemons.items()}
+        consolidator = Consolidator(cloud.sim, runtimes)
+        plan = consolidator.plan()
+        # 4 x 30 MiB containers fit into 2 nodes (3 per 256 MB node).
+        assert len(set(plan.values())) <= 2
+
+    def test_round_executes_migrations(self, cloud):
+        records = spread_containers(cloud, 4)
+        hosts_before = {r.node_id for r in records}
+        assert len(hosts_before) == 4
+        runtimes = {n: d.runtime for n, d in cloud.daemons.items()}
+        consolidator = Consolidator(cloud.sim, runtimes)
+        round_done = consolidator.run_round()
+        cloud.run_for(3600.0)
+        report = round_done.value
+        assert report.executed_migrations >= 2
+        assert report.hosts_after < report.hosts_before
+        assert report.total_bytes_moved > 0
+
+    def test_aggressiveness_caps_migrations(self, cloud):
+        spread_containers(cloud, 4)
+        runtimes = {n: d.runtime for n, d in cloud.daemons.items()}
+        consolidator = Consolidator(cloud.sim, runtimes, aggressiveness=1)
+        round_done = consolidator.run_round()
+        cloud.run_for(3600.0)
+        assert round_done.value.executed_migrations <= 1
+
+    def test_power_off_empty_hosts(self, cloud):
+        spread_containers(cloud, 4)
+        runtimes = {n: d.runtime for n, d in cloud.daemons.items()}
+        consolidator = Consolidator(
+            cloud.sim, runtimes, power_off_empty=True
+        )
+        watts_before = cloud.total_watts()
+        round_done = consolidator.run_round()
+        cloud.run_for(3600.0)
+        report = round_done.value
+        assert len(report.hosts_powered_off) >= 1
+        assert cloud.total_watts() < watts_before
+
+    def test_migrated_containers_still_run(self, cloud):
+        spread_containers(cloud, 4)
+        runtimes = {n: d.runtime for n, d in cloud.daemons.items()}
+        consolidator = Consolidator(cloud.sim, runtimes)
+        consolidator.run_round()
+        cloud.run_for(3600.0)
+        running = sum(r.running_count() for r in runtimes.values())
+        assert running == 4
+
+    def test_idle_cloud_noop(self, cloud):
+        runtimes = {n: d.runtime for n, d in cloud.daemons.items()}
+        consolidator = Consolidator(cloud.sim, runtimes)
+        round_done = consolidator.run_round()
+        cloud.run_for(60.0)
+        report = round_done.value
+        assert report.executed_migrations == 0
+        assert report.planned_migrations == 0
+
+    def test_validation(self, cloud):
+        runtimes = {n: d.runtime for n, d in cloud.daemons.items()}
+        with pytest.raises(ValueError):
+            Consolidator(cloud.sim, runtimes, aggressiveness=-1)

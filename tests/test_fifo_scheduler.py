@@ -1,0 +1,63 @@
+"""Unit tests for the FIFO ablation scheduler."""
+
+import pytest
+
+from repro.hardware import Cpu, CpuSpec
+from repro.hostos.scheduler import FifoScheduler
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def sched(sim):
+    return FifoScheduler(sim, Cpu(sim, CpuSpec(clock_hz=100.0)))
+
+
+class TestFifo:
+    def test_single_task_full_speed(self, sim, sched):
+        task = sched.submit(200.0)
+        sim.run()
+        assert task.completed_at == pytest.approx(2.0)
+
+    def test_tasks_run_strictly_in_order(self, sim, sched):
+        first = sched.submit(100.0)
+        second = sched.submit(100.0)
+        third = sched.submit(100.0)
+        sim.run()
+        assert first.completed_at == pytest.approx(1.0)
+        assert second.completed_at == pytest.approx(2.0)
+        assert third.completed_at == pytest.approx(3.0)
+
+    def test_head_of_line_blocking(self, sim, sched):
+        batch = sched.submit(1000.0)       # 10 s
+        quick = sched.submit(1.0)          # 10 ms of work
+        sim.run()
+        # Under GPS quick would finish in ~20 ms; FIFO makes it wait 10 s.
+        assert quick.completed_at == pytest.approx(10.01)
+        assert batch.completed_at == pytest.approx(10.0)
+
+    def test_cancel_unblocks_queue(self, sim, sched):
+        batch = sched.submit(1000.0)
+        quick = sched.submit(10.0)
+        sim.schedule(1.0, batch.cancel)
+        sim.run()
+        assert quick.completed_at == pytest.approx(1.1)
+
+    def test_utilization_is_binary(self, sim, sched):
+        sched.submit(100.0)
+        sched.submit(100.0)
+        sim.run(until=0.5)
+        assert sched.cpu.utilization.value == pytest.approx(1.0)
+        sim.run()
+        assert sched.cpu.utilization.value == 0.0
+
+    def test_work_conserved(self, sim, sched):
+        for cycles in (50.0, 75.0, 25.0):
+            sched.submit(cycles)
+        sim.run()
+        assert sched.cpu.cycles_executed == pytest.approx(150.0)
+        assert sim.now == pytest.approx(1.5)

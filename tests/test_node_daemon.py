@@ -1,0 +1,209 @@
+"""Unit tests for the per-Pi REST daemon's API surface."""
+
+import pytest
+
+from repro.hardware import Machine, RASPBERRY_PI_MODEL_B
+from repro.hostos import HostKernel, IpFabric
+from repro.mgmt import NODE_DAEMON_PORT, NodeDaemon, RestClient
+from repro.netsim import Network
+from repro.netsim.topology import single_switch
+from repro.sim import Simulator
+from repro.units import mib
+
+
+@pytest.fixture
+def world(sim=None):
+    sim = Simulator()
+    topo = single_switch(["pi-1", "pi-2", "mgmt"], bandwidth=12.5e6, latency=0.0)
+    network = Network(sim, topo)
+    fabric = IpFabric(sim, network)
+    kernels = {}
+    for index, host in enumerate(("pi-1", "pi-2", "mgmt")):
+        machine = Machine(sim, RASPBERRY_PI_MODEL_B, host)
+        machine.boot_immediately()
+        kernel = HostKernel(sim, machine, fabric)
+        kernel.netstack.bind_address(f"10.0.0.{index + 1}")
+        kernels[host] = kernel
+    daemons = {
+        "pi-1": NodeDaemon(kernels["pi-1"]),
+        "pi-2": NodeDaemon(kernels["pi-2"]),
+    }
+    daemons["pi-1"].peer_resolver = daemons.__getitem__
+    daemons["pi-2"].peer_resolver = daemons.__getitem__
+    client = RestClient(kernels["mgmt"].netstack, timeout_s=3600.0)
+    return sim, daemons, client
+
+
+def call(sim, signal, deadline=7200.0):
+    sim.run(until=sim.now + deadline)
+    assert signal.triggered
+    return signal.value
+
+
+IMAGE_BODY = {"name": "tiny", "version": 1, "size": mib(1),
+              "idle_memory": mib(30), "app_class": "generic"}
+
+
+def push_image(sim, client, ip="10.0.0.1"):
+    response = call(sim, client.post(ip, NODE_DAEMON_PORT, "/images",
+                                     body=IMAGE_BODY, wire_size=mib(1)))
+    assert response.status in (200, 201)
+    return response
+
+
+class TestDaemonApi:
+    def test_health(self, world):
+        sim, daemons, client = world
+        response = call(sim, client.get("10.0.0.1", NODE_DAEMON_PORT, "/health"))
+        assert response.status == 200
+        assert response.body["node"] == "pi-1"
+
+    def test_metrics_shape(self, world):
+        sim, daemons, client = world
+        response = call(sim, client.get("10.0.0.1", NODE_DAEMON_PORT, "/metrics"))
+        body = response.body
+        assert body["mem_capacity"] == mib(256)
+        assert body["containers_running"] == 0
+        assert body["watts"] > 0
+
+    def test_image_push_and_cache(self, world):
+        sim, daemons, client = world
+        first = push_image(sim, client)
+        assert first.status == 201 and first.body["cached"] is False
+        assert daemons["pi-1"].has_image("tiny:v1")
+        second = push_image(sim, client)
+        assert second.status == 200 and second.body["cached"] is True
+
+    def test_image_push_bad_descriptor(self, world):
+        sim, daemons, client = world
+        response = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/images", body={"name": "x"}
+        ))
+        assert response.status == 400
+
+    def test_create_requires_cached_image(self, world):
+        sim, daemons, client = world
+        response = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers",
+            body={"name": "c1", "image": "ghost:v1"},
+        ))
+        assert response.status == 409
+
+    def test_create_start_stop_destroy_cycle(self, world):
+        sim, daemons, client = world
+        push_image(sim, client)
+        created = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers",
+            body={"name": "c1", "image": "tiny:v1", "ip": "10.0.1.10"},
+        ))
+        assert created.status == 201
+        assert created.body["state"] == "running"
+
+        listed = call(sim, client.get("10.0.0.1", NODE_DAEMON_PORT, "/containers"))
+        assert [c["name"] for c in listed.body] == ["c1"]
+
+        stopped = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/stop"))
+        assert stopped.body["state"] == "defined"
+
+        destroyed = call(sim, client.delete(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1"))
+        assert destroyed.status == 200
+        listed = call(sim, client.get("10.0.0.1", NODE_DAEMON_PORT, "/containers"))
+        assert listed.body == []
+
+    def test_freeze_unfreeze(self, world):
+        sim, daemons, client = world
+        push_image(sim, client)
+        call(sim, client.post("10.0.0.1", NODE_DAEMON_PORT, "/containers",
+                              body={"name": "c1", "image": "tiny:v1"}))
+        frozen = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/freeze"))
+        assert frozen.body["state"] == "frozen"
+        thawed = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/unfreeze"))
+        assert thawed.body["state"] == "running"
+
+    def test_limits_endpoint(self, world):
+        sim, daemons, client = world
+        push_image(sim, client)
+        call(sim, client.post("10.0.0.1", NODE_DAEMON_PORT, "/containers",
+                              body={"name": "c1", "image": "tiny:v1"}))
+        updated = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/limits",
+            body={"cpu_shares": 4096, "cpu_quota": 0.5},
+        ))
+        assert updated.body["cpu_shares"] == 4096
+        assert updated.body["cpu_quota"] == 0.5
+
+    def test_limits_validation(self, world):
+        sim, daemons, client = world
+        push_image(sim, client)
+        call(sim, client.post("10.0.0.1", NODE_DAEMON_PORT, "/containers",
+                              body={"name": "c1", "image": "tiny:v1"}))
+        bad = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/limits",
+            body={"cpu_quota": 7.0},
+        ))
+        assert bad.status == 400
+
+    def test_unknown_container_404(self, world):
+        sim, daemons, client = world
+        response = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/ghost/stop"))
+        assert response.status == 404
+
+    def test_start_with_oom_returns_507(self, world):
+        sim, daemons, client = world
+        push_image(sim, client)
+        for index in range(3):
+            response = call(sim, client.post(
+                "10.0.0.1", NODE_DAEMON_PORT, "/containers",
+                body={"name": f"c{index}", "image": "tiny:v1"},
+            ))
+            assert response.status == 201
+        overflow = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers",
+            body={"name": "c3", "image": "tiny:v1"},
+        ))
+        assert overflow.status == 507
+        # Rolled back: the failed container is not left behind.
+        listed = call(sim, client.get("10.0.0.1", NODE_DAEMON_PORT, "/containers"))
+        assert len(listed.body) == 3
+
+    def test_migrate_endpoint(self, world):
+        sim, daemons, client = world
+        push_image(sim, client, ip="10.0.0.1")
+        call(sim, client.post("10.0.0.1", NODE_DAEMON_PORT, "/containers",
+                              body={"name": "c1", "image": "tiny:v1",
+                                    "ip": "10.0.1.20"}))
+        migrated = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/migrate",
+            body={"destination": "pi-2"},
+        ))
+        assert migrated.status == 200
+        assert migrated.body["destination"] == "pi-2"
+        assert daemons["pi-2"].runtime.container("c1").is_running
+        listed = call(sim, client.get("10.0.0.1", NODE_DAEMON_PORT, "/containers"))
+        assert listed.body == []
+
+    def test_migrate_to_unknown_destination(self, world):
+        sim, daemons, client = world
+        push_image(sim, client)
+        call(sim, client.post("10.0.0.1", NODE_DAEMON_PORT, "/containers",
+                              body={"name": "c1", "image": "tiny:v1"}))
+        response = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/migrate",
+            body={"destination": "mars"},
+        ))
+        assert response.status == 404
+
+    def test_migrate_requires_destination_field(self, world):
+        sim, daemons, client = world
+        push_image(sim, client)
+        call(sim, client.post("10.0.0.1", NODE_DAEMON_PORT, "/containers",
+                              body={"name": "c1", "image": "tiny:v1"}))
+        response = call(sim, client.post(
+            "10.0.0.1", NODE_DAEMON_PORT, "/containers/c1/migrate", body={}
+        ))
+        assert response.status == 400

@@ -1,0 +1,163 @@
+"""Tests for the peer-to-peer management system (repro.mgmt.p2p)."""
+
+import pytest
+
+from repro.core import PiCloud, PiCloudConfig
+from repro.mgmt.p2p import P2P_PORT, P2pAgent, ring_hash
+from repro.mgmt.rest import RestClient
+from repro.units import mib
+from repro.virt.image import ContainerImage
+
+TINY = ContainerImage(name="tiny", version=1, rootfs_bytes=mib(1),
+                      idle_memory_bytes=mib(30))
+
+
+@pytest.fixture
+def p2p_world():
+    """A cloud whose nodes run P2P agents (the pimaster is unused)."""
+    config = PiCloudConfig.small(
+        racks=2, pis=2, start_monitoring=False, routing="shortest"
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    # One seed: the first node; everyone else discovers through gossip.
+    first = cloud.pimaster.node_ids()[0]
+    seeds = [(first, cloud.pimaster.node_ip(first))]
+    agents = {}
+    for index, node in enumerate(cloud.pimaster.node_ids()):
+        agent = P2pAgent(
+            cloud.kernels[node],
+            cloud.daemons[node].runtime,
+            container_subnet=f"10.{100 + index}.0.0/24",
+            seeds=seeds,
+            gossip_interval_s=2.0,
+            suspect_timeout_s=12.0,
+        )
+        agent.seed_image(TINY)
+        agents[node] = agent
+    return cloud, agents
+
+
+def spawn_via(cloud, agents, entry_node, name, deadline=600.0):
+    client = RestClient(cloud.kernels["pimaster"].netstack, timeout_s=120.0)
+    entry_ip = agents[entry_node].ip
+    call = client.post(entry_ip, P2P_PORT, "/p2p/spawn",
+                       body={"name": name, "image": "tiny:v1"})
+    cloud.run_until_signal(call, max_seconds=deadline)
+    return call.value
+
+
+class TestRing:
+    def test_ring_hash_stable(self):
+        assert ring_hash("x") == ring_hash("x")
+        assert ring_hash("x") != ring_hash("y")
+
+    def test_owner_walk_covers_all_members(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(20.0)  # let gossip converge
+        agent = next(iter(agents.values()))
+        owners = agent.owners_for("some-container")
+        assert len(owners) == 4
+        assert len({m.node_id for m in owners}) == 4
+
+    def test_owner_is_consistent_across_agents(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(30.0)
+        first_owners = {
+            node: agent.owners_for("cname")[0].node_id
+            for node, agent in agents.items()
+        }
+        assert len(set(first_owners.values())) == 1
+
+
+class TestGossip:
+    def test_membership_converges_from_one_seed(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(40.0)
+        for agent in agents.values():
+            alive = {m.node_id for m in agent.alive_members()}
+            assert alive == set(agents)
+
+    def test_heartbeats_advance(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(30.0)
+        agent = next(iter(agents.values()))
+        beats_1 = {m.node_id: m.heartbeat for m in agent.alive_members()}
+        cloud.run_for(20.0)
+        beats_2 = {m.node_id: m.heartbeat for m in agent.alive_members()}
+        assert all(beats_2[n] > beats_1[n] for n in beats_1)
+
+    def test_dead_node_suspected(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(40.0)
+        victim = "pi-r1-n0"
+        agents[victim].stop()
+        cloud.fail_node(victim)
+        cloud.run_for(60.0)
+        for node, agent in agents.items():
+            if node == victim:
+                continue
+            alive = {m.node_id for m in agent.alive_members()}
+            assert victim not in alive
+
+    def test_members_endpoint(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(40.0)
+        client = RestClient(cloud.kernels["pimaster"].netstack, timeout_s=60.0)
+        call = client.get(agents["pi-r0-n0"].ip, P2P_PORT, "/p2p/members")
+        cloud.run_until_signal(call)
+        assert len(call.value.body) == 4
+
+
+class TestDecentralisedSpawn:
+    def test_spawn_routed_to_ring_owner(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(40.0)
+        response = spawn_via(cloud, agents, "pi-r0-n0", "app-1")
+        assert response.status == 201
+        owner = response.body["node"]
+        expected = agents["pi-r0-n0"].owners_for("app-1")[0].node_id
+        assert owner == expected
+        assert agents[owner].runtime.container("app-1").is_running
+
+    def test_spawn_from_any_entry_lands_same_owner(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(40.0)
+        first = spawn_via(cloud, agents, "pi-r0-n0", "svc-a")
+        # A *different* name spawned via a different entry node still
+        # lands on its deterministic owner.
+        second = spawn_via(cloud, agents, "pi-r1-n1", "svc-b")
+        assert first.status == 201 and second.status == 201
+        again = agents["pi-r0-n1"].owners_for("svc-b")[0].node_id
+        assert second.body["node"] == again
+
+    def test_spawn_requires_seeded_image(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(40.0)
+        client = RestClient(cloud.kernels["pimaster"].netstack, timeout_s=60.0)
+        call = client.post(agents["pi-r0-n0"].ip, P2P_PORT, "/p2p/spawn",
+                           body={"name": "ghost-app", "image": "missing:v9"})
+        cloud.run_until_signal(call)
+        assert call.value.status in (409, 507)
+
+    def test_spawn_validation(self, p2p_world):
+        cloud, agents = p2p_world
+        cloud.run_for(20.0)
+        client = RestClient(cloud.kernels["pimaster"].netstack, timeout_s=60.0)
+        call = client.post(agents["pi-r0-n0"].ip, P2P_PORT, "/p2p/spawn",
+                           body={"name": "x"})
+        cloud.run_until_signal(call)
+        assert call.value.status == 400
+
+    def test_no_single_point_of_failure(self, p2p_world):
+        """Kill a node: names re-hash to live owners and spawning goes on."""
+        cloud, agents = p2p_world
+        cloud.run_for(40.0)
+        victim = agents["pi-r0-n0"].owners_for("resilient-app")[0].node_id
+        agents[victim].stop()
+        cloud.fail_node(victim)
+        cloud.run_for(60.0)  # suspicion propagates
+        entry = next(n for n in agents if n != victim)
+        response = spawn_via(cloud, agents, entry, "resilient-app")
+        assert response.status == 201
+        assert response.body["node"] != victim

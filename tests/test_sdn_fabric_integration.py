@@ -1,0 +1,88 @@
+"""End-to-end integration: full paper-scale cloud under mixed load.
+
+These are the 'whole system breathing' tests: the 56-node cloud with SDN
+routing, monitoring, container spawns across racks, application traffic,
+failures and migrations all in one simulated run.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import HttpClientApp, HttpServerApp
+from repro.core import PiCloud, PiCloudConfig
+from repro.units import kib
+
+
+@pytest.fixture(scope="module")
+def paper_cloud():
+    """The full 56-Pi deployment, monitoring on, SDN aggregation."""
+    config = PiCloudConfig(
+        start_monitoring=True,
+        monitoring_interval_s=10.0,
+        routing="sdn-shortest",
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    return cloud
+
+
+class TestPaperScale:
+    def test_all_56_nodes_managed(self, paper_cloud):
+        cloud = paper_cloud
+        assert len(cloud.pimaster.node_ids()) == 56
+        cloud.run_for(30.0)
+        assert len(cloud.pimaster.monitoring.latest) == 56
+
+    def test_spawn_across_racks(self, paper_cloud):
+        cloud = paper_cloud
+        records = []
+        for index in range(4):
+            signal = cloud.spawn(
+                "base", name=f"spread-{index}",
+                node_id=f"pi-r{index}-n0",
+            )
+            cloud.run_until_signal(signal)
+            records.append(signal.value)
+        racks = {cloud.machines[r.node_id].rack for r in records}
+        assert len(racks) == 4
+
+    def test_cross_rack_http_under_monitoring_traffic(self, paper_cloud):
+        cloud = paper_cloud
+        signal = cloud.spawn("webserver", name="edge-web", node_id="pi-r3-n13")
+        cloud.run_until_signal(signal)
+        record = signal.value
+        server = HttpServerApp(cloud.container("edge-web"))
+        client = HttpClientApp(
+            cloud.kernels["pi-r0-n0"].netstack, record.ip,
+            response_bytes=kib(8), rng=random.Random(1),
+        )
+        run = client.run_closed_loop(workers=2, duration_s=20.0)
+        cloud.run_until_signal(run)
+        summary = run.value
+        assert summary["completed"] > 10
+        assert summary["errors"] == 0
+        server.stop()
+
+    def test_sdn_controller_saw_flow_setups(self, paper_cloud):
+        cloud = paper_cloud
+        assert cloud.controller is not None
+        # Management + HTTP traffic all crossed the OpenFlow layer.
+        assert cloud.controller.packet_in_count > 0
+        assert cloud.controller.flow_mod_count > 0
+
+    def test_node_failure_is_contained(self, paper_cloud):
+        cloud = paper_cloud
+        errors_before = cloud.pimaster.monitoring.poll_errors
+        cloud.fail_node("pi-r2-n7")
+        cloud.run_for(60.0)
+        # The poller notices, the rest of the cloud keeps serving.
+        assert cloud.pimaster.monitoring.poll_errors > errors_before
+        signal = cloud.spawn("base", name="after-failure", node_id="pi-r1-n1")
+        cloud.run_until_signal(signal)
+        assert signal.ok
+
+    def test_power_stays_single_socket_under_load(self, paper_cloud):
+        cloud = paper_cloud
+        assert cloud.power_meter.fits_single_socket()
+        assert cloud.total_watts() < 250.0

@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event kernel (repro.sim.kernel)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_run_with_empty_queue_advances_to_until(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_without_until_on_empty_queue_is_noop(self):
+        sim = Simulator()
+        sim.run()
+        assert sim.now == 0.0
+
+
+class TestScheduling:
+    def test_callback_fires_at_scheduled_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "low", priority=5)
+        sim.schedule(1.0, order.append, "high", priority=-5)
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_args_passed_to_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "nope")
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_until(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        assert sim.pending_events() == 1
+
+    def test_run_until_resumes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=4.0)
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now == 10.0
+
+    def test_event_at_exactly_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(4.0, fired.append, "edge")
+        sim.run(until=4.0)
+        assert fired == ["edge"]
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_executed == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_nested_run_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.run())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "chained"))
+        sim.run()
+        assert fired == ["chained"]
+        assert sim.now == 2.0

@@ -1,0 +1,208 @@
+"""Unit tests for telemetry primitives (series, stats, samplers)."""
+
+import math
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    PeriodicSampler,
+    TimeSeries,
+    summarize,
+)
+from repro.telemetry.stats import format_table
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        series = TimeSeries("lat")
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert list(series) == [(1.0, 10.0), (2.0, 20.0)]
+        assert len(series) == 2
+        assert series.last == 20.0
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_window_is_half_open(self):
+        series = TimeSeries()
+        for t in range(5):
+            series.record(float(t), float(t))
+        windowed = series.window(1.0, 3.0)
+        assert list(windowed) == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_empty_series_last_is_none(self):
+        assert TimeSeries().last is None
+
+
+class TestGauge:
+    def test_initial_value(self, sim):
+        assert Gauge(sim, initial=5.0).value == 5.0
+
+    def test_integral_of_constant(self, sim):
+        gauge = Gauge(sim, initial=2.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert gauge.integral() == pytest.approx(20.0)
+
+    def test_integral_of_step_function(self, sim):
+        gauge = Gauge(sim, initial=0.0)
+        sim.schedule(2.0, gauge.set, 10.0)
+        sim.schedule(5.0, gauge.set, 0.0)
+        sim.schedule(8.0, lambda: None)
+        sim.run()
+        # 0 for [0,2), 10 for [2,5), 0 after => 30.
+        assert gauge.integral() == pytest.approx(30.0)
+
+    def test_integral_partial_window(self, sim):
+        gauge = Gauge(sim, initial=4.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert gauge.integral(2.0, 7.0) == pytest.approx(20.0)
+
+    def test_set_same_instant_overwrites(self, sim):
+        gauge = Gauge(sim, initial=0.0)
+        gauge.set(5.0)
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+        assert len(gauge.values) == 1
+
+    def test_time_weighted_mean(self, sim):
+        gauge = Gauge(sim, initial=0.0)
+        sim.schedule(5.0, gauge.set, 1.0)
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert gauge.time_weighted_mean() == pytest.approx(0.5)
+
+    def test_add_is_relative(self, sim):
+        gauge = Gauge(sim, initial=3.0)
+        gauge.add(2.0)
+        gauge.add(-1.0)
+        assert gauge.value == 4.0
+
+    def test_end_before_start_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Gauge(sim).integral(5.0, 1.0)
+
+    def test_maximum(self, sim):
+        gauge = Gauge(sim, initial=1.0)
+        sim.schedule(1.0, gauge.set, 9.0)
+        sim.schedule(2.0, gauge.set, 3.0)
+        sim.run()
+        assert gauge.maximum() == 9.0
+
+
+class TestCounter:
+    def test_accumulates(self, sim):
+        counter = Counter(sim)
+        counter.add(5)
+        counter.add()
+        assert counter.total == 6.0
+
+    def test_negative_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Counter(sim).add(-1)
+
+    def test_rate(self, sim):
+        counter = Counter(sim)
+        sim.schedule(4.0, counter.add, 8.0)
+        sim.run()
+        assert counter.rate() == pytest.approx(2.0)
+
+    def test_rate_at_zero_elapsed(self, sim):
+        counter = Counter(sim)
+        counter.add(3)
+        assert counter.rate() == 0.0
+
+
+class TestSummary:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_empty_input(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_row_keys(self):
+        row = summarize([1.0]).row()
+        assert set(row) == {"count", "mean", "std", "min", "p50", "p95", "p99", "max"}
+
+    def test_percentiles_ordered(self):
+        summary = summarize(range(1000))
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+
+
+class TestFormatTable:
+    def test_renders_aligned_columns(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+
+class TestPeriodicSampler:
+    def test_samples_at_interval(self, sim):
+        sampler = PeriodicSampler(sim, fn=lambda: sim.now, interval=2.0)
+        sim.run(until=7.0)
+        sampler.stop()
+        assert sampler.series.times == [0.0, 2.0, 4.0, 6.0]
+        assert sampler.series.values == [0.0, 2.0, 4.0, 6.0]
+
+    def test_duration_bounds_sampling(self, sim):
+        sampler = PeriodicSampler(sim, fn=lambda: 1.0, interval=1.0, duration=3.0)
+        sim.run(until=10.0)
+        assert len(sampler.series) == 4  # t = 0, 1, 2, 3
+
+    def test_invalid_interval(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicSampler(sim, fn=lambda: 0.0, interval=0.0)
+
+    def test_stop_halts_sampling(self, sim):
+        sampler = PeriodicSampler(sim, fn=lambda: 0.0, interval=1.0)
+        sim.run(until=2.5)
+        sampler.stop()
+        sim.run(until=10.0)
+        assert len(sampler.series) == 3
+
+
+class TestMetricsRegistry:
+    def test_gauge_cached_by_name(self, sim):
+        metrics = MetricsRegistry(sim, prefix="n1")
+        assert metrics.gauge("cpu") is metrics.gauge("cpu")
+
+    def test_prefix_applied(self, sim):
+        metrics = MetricsRegistry(sim, prefix="n1")
+        assert metrics.gauge("cpu").name == "n1.cpu"
+        assert MetricsRegistry(sim).gauge("cpu").name == "cpu"
+
+    def test_snapshot_includes_gauges_and_counters(self, sim):
+        metrics = MetricsRegistry(sim, prefix="x")
+        metrics.gauge("g").set(3.0)
+        metrics.counter("c").add(2)
+        metrics.series("s").record(0.0, 1.0)
+        assert metrics.snapshot() == {"g": 3.0, "c": 2.0}
+
+    def test_names_sorted(self, sim):
+        metrics = MetricsRegistry(sim)
+        metrics.counter("zz")
+        metrics.gauge("aa")
+        assert metrics.names() == ["aa", "zz"]

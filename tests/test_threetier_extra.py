@@ -1,0 +1,79 @@
+"""Additional cross-layer integration: three-tier placement studies.
+
+Exercises the interaction the paper's §III motivates: where the tiers
+land (one ToR vs across the aggregation layer) shows up directly in
+end-to-end latency, because every tier hop is a real fabric flow.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import HttpClientApp, ThreeTierService
+from repro.core import PiCloud, PiCloudConfig
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    config = PiCloudConfig.small(
+        racks=2, pis=3, start_monitoring=False, routing="shortest",
+        # Slow fabric so placement differences dominate visibly.
+        host_bandwidth=2e6, uplink_bandwidth=2e6, link_latency=2e-3,
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    return cloud
+
+
+def deploy(cloud, prefix, nodes):
+    tiers = []
+    for (image, role), node in zip(
+        (("webserver", "web"), ("base", "app"), ("database", "db")), nodes
+    ):
+        signal = cloud.spawn(image, name=f"{prefix}-{role}", node_id=node)
+        cloud.run_until_signal(signal)
+        tiers.append(cloud.container(signal.value.name))
+    return ThreeTierService(*tiers)
+
+
+def mean_latency(cloud, service, requests=10, seed=0):
+    client = HttpClientApp(
+        cloud.kernels["pi-r1-n2"].netstack,
+        service.entry_ip, service.entry_port,
+        rng=random.Random(seed),
+    )
+    for _ in range(requests):
+        fetch = client.fetch("/")
+        cloud.run_until_signal(fetch)
+    return sum(client.latencies.values) / len(client.latencies)
+
+
+class TestPlacementLatencyCoupling:
+    def test_rack_local_beats_cross_rack(self, cloud):
+        local = deploy(cloud, "loc", ["pi-r0-n0", "pi-r0-n1", "pi-r0-n2"])
+        assert not local.spans_racks()
+        local_latency = mean_latency(cloud, local, seed=1)
+        local.stop()
+
+        spread = deploy(cloud, "spr", ["pi-r0-n0", "pi-r1-n0", "pi-r0-n1"])
+        assert spread.spans_racks()
+        spread_latency = mean_latency(cloud, spread, seed=2)
+        spread.stop()
+
+        # Cross-rack tier hops pay extra propagation + shared uplinks.
+        assert spread_latency > local_latency
+
+    def test_tier_latencies_nest(self, cloud):
+        service = deploy(cloud, "nest", ["pi-r0-n0", "pi-r0-n1", "pi-r1-n0"])
+        mean_latency(cloud, service, requests=5, seed=3)
+        breakdown = service.tier_latency_breakdown()
+        assert breakdown["web"] > breakdown["app"] > breakdown["db"] > 0
+        service.stop()
+
+    def test_requests_counted_per_tier(self, cloud):
+        service = deploy(cloud, "cnt", ["pi-r0-n0", "pi-r0-n1", "pi-r0-n2"])
+        mean_latency(cloud, service, requests=4, seed=4)
+        assert len(service.web_tier.latencies) == 4
+        assert len(service.app_tier.latencies) == 4
+        assert len(service.db_tier.latencies) == 4
+        service.stop()

@@ -1,0 +1,77 @@
+"""Unit tests for unit conversions, formatting and the dashboard helpers."""
+
+import pytest
+
+from repro import units
+from repro.mgmt.dashboard import load_bar
+
+
+class TestDataSizes:
+    def test_binary_prefixes(self):
+        assert units.kib(1) == 1024
+        assert units.mib(1) == 1024 ** 2
+        assert units.gib(1) == 1024 ** 3
+        assert units.mib(0.5) == 512 * 1024
+
+    def test_constants_consistent(self):
+        assert units.MIB == units.kib(1024)
+        assert units.GB == 1000 * units.MB
+
+
+class TestBandwidth:
+    def test_bits_to_bytes(self):
+        assert units.bit_per_s(8) == 1.0
+        assert units.mbit_per_s(100) == 12.5e6
+        assert units.gbit_per_s(1) == 125e6
+        assert units.kbit_per_s(8) == 1000.0
+
+    def test_roundtrip(self):
+        assert units.to_mbit_per_s(units.mbit_per_s(100)) == pytest.approx(100.0)
+
+
+class TestTime:
+    def test_conversions(self):
+        assert units.msec(1500) == 1.5
+        assert units.usec(1e6) == 1.0
+        assert units.MINUTE == 60.0
+        assert units.HOUR == 3600.0
+        assert units.YEAR == 365 * 24 * 3600.0
+
+
+class TestCpuUnits:
+    def test_clock_rates(self):
+        assert units.mhz(700) == 700e6
+        assert units.ghz(2.4) == 2.4e9
+        assert units.mcycles(5) == 5e6
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(units.kib(2)) == "2.0 KiB"
+        assert units.fmt_bytes(units.mib(30)) == "30.0 MiB"
+        assert units.fmt_bytes(units.gib(16)) == "16.0 GiB"
+
+    def test_fmt_duration(self):
+        assert units.fmt_duration(0.0123) == "12.3ms"
+        assert units.fmt_duration(5.5) == "5.5s"
+        assert units.fmt_duration(90) == "1m30.0s"
+        assert units.fmt_duration(7200) == "2h0m"
+
+
+class TestLoadBar:
+    def test_empty_and_full(self):
+        assert load_bar(0.0) == "[--------------------]   0%"
+        assert load_bar(1.0) == "[####################] 100%"
+
+    def test_half(self):
+        bar = load_bar(0.5)
+        assert bar.count("#") == 10
+        assert bar.endswith(" 50%")
+
+    def test_clamps_out_of_range(self):
+        assert load_bar(-1.0) == load_bar(0.0)
+        assert load_bar(2.0) == load_bar(1.0)
+
+    def test_custom_width(self):
+        assert load_bar(1.0, width=5) == "[#####] 100%"
