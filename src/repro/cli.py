@@ -23,6 +23,7 @@ from repro.core.cloud import PiCloud
 from repro.core.comparison import testbed_comparison
 from repro.core.config import ROUTING_MODES, PiCloudConfig
 from repro.core.experiments import elephant_storm
+from repro.errors import PiCloudError, SimBudgetExceeded
 from repro.telemetry.stats import format_table
 
 
@@ -34,6 +35,12 @@ def _add_cloud_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--routing", choices=ROUTING_MODES,
                         default="sdn-shortest", help="fabric control plane")
     parser.add_argument("--seed", type=int, default=0, help="RNG master seed")
+    parser.add_argument("--max-events", type=int, default=None, metavar="N",
+                        help="run budget: abort after N kernel events")
+    parser.add_argument("--max-sim-time", type=float, default=None, metavar="T",
+                        help="run budget: abort past simulated time T (s)")
+    parser.add_argument("--wall-timeout", type=float, default=None, metavar="S",
+                        help="watchdog: abort a run after S wall-clock seconds")
 
 
 def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
@@ -41,6 +48,9 @@ def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
         num_racks=args.racks, pis_per_rack=args.pis,
         routing=args.routing, seed=args.seed,
         start_monitoring=monitoring,
+        max_events=args.max_events,
+        max_sim_time_s=args.max_sim_time,
+        max_wall_s=args.wall_timeout,
     )
     cloud = PiCloud(config)
     cloud.boot()
@@ -140,7 +150,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except SimBudgetExceeded as exc:
+        print("simulation aborted: run budget exceeded", file=sys.stderr)
+        if exc.snapshot is not None:
+            print(exc.snapshot.describe(), file=sys.stderr)
+        return 3
+    except PiCloudError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -38,6 +38,7 @@ from repro.power.meter import CloudPowerMeter
 from repro.sim.kernel import Simulator
 from repro.sim.process import AllOf, Signal
 from repro.sim.rng import RngRegistry
+from repro.telemetry.budget import BudgetTelemetry
 from repro.virt.container import Container
 
 PIMASTER_NODE = "pimaster"
@@ -50,7 +51,8 @@ class PiCloud:
 
     def __init__(self, config: Optional[PiCloudConfig] = None) -> None:
         self.config = config or PiCloudConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(budget=self.config.run_budget())
+        self.budget_telemetry = BudgetTelemetry(self.sim)
         self.rng = RngRegistry(self.config.seed)
 
         # -- topology -----------------------------------------------------
@@ -173,6 +175,9 @@ class PiCloud:
             subnet=self.config.subnet,
             zone=self.config.dns_zone,
             monitoring_interval_s=self.config.monitoring_interval_s,
+            op_deadline_s=self.config.op_deadline_s,
+            op_attempts=self.config.op_attempts,
+            op_backoff_s=self.config.op_backoff_s,
         )
         pool = self.pimaster.dhcp.pool
         pimaster_ip = pool.allocate()
@@ -184,7 +189,9 @@ class PiCloud:
                 client_id=name, hostname=name, ttl_s=float("inf")
             )
             self.kernels[name].netstack.bind_address(lease.ip)
-            daemon = NodeDaemon(self.kernels[name])
+            daemon = NodeDaemon(
+                self.kernels[name], op_deadline_s=self.config.op_deadline_s
+            )
             self.daemons[name] = daemon
             self.pimaster.register_node(daemon, lease.ip)
 

@@ -9,6 +9,7 @@ two OpenFlow-enabled aggregation switches and a gateway/border router,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import PiCloudError
 from repro.hardware.catalog import (
@@ -60,12 +61,42 @@ class PiCloudConfig:
     monitoring_interval_s: float = 5.0
     start_monitoring: bool = True
 
+    # -- run budget / watchdog ---------------------------------------------
+    # Hard safety nets for the discrete-event kernel: exhausting one raises
+    # SimBudgetExceeded with a diagnostic snapshot instead of spinning.
+    # None disables the axis.  max_wall_s is wall-clock seconds per run()
+    # call; max_events is cumulative over the simulator's lifetime.
+    max_events: Optional[int] = None
+    max_sim_time_s: Optional[float] = None
+    max_wall_s: Optional[float] = None
+    # Management-plane operation guards: container start/stop/migrate and
+    # other REST orchestration time out after op_deadline_s (simulated)
+    # and are retried up to op_attempts times with exponential backoff
+    # starting at op_backoff_s.
+    op_deadline_s: float = 1800.0
+    op_attempts: int = 3
+    op_backoff_s: float = 1.0
+
     # -- reproducibility --------------------------------------------------------------
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.num_racks < 1 or self.pis_per_rack < 1:
             raise PiCloudError("need at least one rack with one Pi")
+        if self.max_events is not None and self.max_events < 1:
+            raise PiCloudError(f"max_events must be >= 1, got {self.max_events}")
+        if self.max_sim_time_s is not None and self.max_sim_time_s < 0:
+            raise PiCloudError(
+                f"max_sim_time_s must be >= 0, got {self.max_sim_time_s}"
+            )
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise PiCloudError(f"max_wall_s must be > 0, got {self.max_wall_s}")
+        if self.op_deadline_s <= 0:
+            raise PiCloudError(f"op_deadline_s must be > 0, got {self.op_deadline_s}")
+        if self.op_attempts < 1:
+            raise PiCloudError(f"op_attempts must be >= 1, got {self.op_attempts}")
+        if self.op_backoff_s < 0:
+            raise PiCloudError(f"op_backoff_s must be >= 0, got {self.op_backoff_s}")
         if self.topology not in TOPOLOGY_KINDS:
             raise PiCloudError(
                 f"unknown topology {self.topology!r}; use one of {TOPOLOGY_KINDS}"
@@ -85,6 +116,19 @@ class PiCloudConfig:
     @property
     def node_count(self) -> int:
         return self.num_racks * self.pis_per_rack
+
+    def run_budget(self):
+        """The configured kernel budget, or None when fully unbounded."""
+        if (self.max_events is None and self.max_sim_time_s is None
+                and self.max_wall_s is None):
+            return None
+        from repro.sim.budget import RunBudget
+
+        return RunBudget(
+            max_events=self.max_events,
+            max_sim_time=self.max_sim_time_s,
+            max_wall_s=self.max_wall_s,
+        )
 
     @classmethod
     def paper_testbed(cls) -> "PiCloudConfig":

@@ -15,12 +15,89 @@ it, and returns a plain-dict result row -- ready for tabulation.
 from __future__ import annotations
 
 import random
+import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.http import HttpClientApp, HttpServerApp
 from repro.apps.traffic import OnOffTrafficSource
 from repro.core.cloud import PiCloud
+from repro.errors import DeadlineExceeded
+from repro.sim.process import Signal
 from repro.units import kib, mib
+
+# Default wall-clock guard per experiment phase: generous for real studies,
+# tight enough that a non-terminating scenario fails in CI instead of
+# eating the job's whole time limit.
+DEFAULT_PHASE_WALL_S = 120.0
+
+
+def run_phase(
+    cloud: PiCloud,
+    name: str,
+    *,
+    signal: Optional[Signal] = None,
+    sim_seconds: Optional[float] = None,
+    wall_s: Optional[float] = DEFAULT_PHASE_WALL_S,
+    wall_check_every: int = 4096,
+) -> float:
+    """Drive one experiment phase under sim-time and wall-clock deadlines.
+
+    Steps the simulator until ``signal`` triggers (if given) and/or
+    ``sim_seconds`` of simulated time elapse -- whichever is satisfied
+    first; at least one of the two must be provided.  A wall-clock
+    watchdog aborts the phase with :class:`DeadlineExceeded` after
+    ``wall_s`` real seconds, so a stuck scenario fails loudly with the
+    phase's name instead of hanging the experiment driver.
+
+    Returns the simulated seconds the phase consumed.
+    """
+    if signal is None and sim_seconds is None:
+        raise ValueError(f"phase {name!r}: need a signal and/or sim_seconds")
+    started_sim = cloud.sim.now
+    sim_deadline = None if sim_seconds is None else started_sim + sim_seconds
+    wall_start = time.monotonic()
+    steps = 0
+    while True:
+        if signal is not None and signal.triggered:
+            break
+        if sim_deadline is not None and cloud.sim.now >= sim_deadline:
+            if signal is not None and not signal.triggered:
+                raise DeadlineExceeded(
+                    f"experiment phase {name!r} did not complete within "
+                    f"{sim_seconds} simulated seconds",
+                    deadline_s=float(sim_seconds),
+                )
+            break
+        next_time = cloud.sim.peek()
+        if next_time is None:
+            if signal is not None and not signal.triggered:
+                raise DeadlineExceeded(
+                    f"experiment phase {name!r}: event queue drained at "
+                    f"t={cloud.sim.now:.3f} with the phase signal untriggered",
+                    deadline_s=float(sim_seconds or 0.0),
+                )
+            if sim_deadline is not None:
+                cloud.sim.run(until=sim_deadline)
+            break
+        if sim_deadline is not None and next_time > sim_deadline:
+            cloud.sim.run(until=sim_deadline)
+            continue
+        cloud.sim.step()
+        steps += 1
+        if (wall_s is not None and steps % wall_check_every == 0
+                and time.monotonic() - wall_start > wall_s):
+            cloud.sim.watchdog_trips += 1
+            snapshot = cloud.sim.snapshot(
+                "wall_clock", wall_elapsed_s=time.monotonic() - wall_start
+            )
+            for hook in cloud.sim.budget_hooks:
+                hook(snapshot)
+            raise DeadlineExceeded(
+                f"experiment phase {name!r} exceeded its {wall_s}s wall-clock "
+                f"watchdog\n{snapshot.describe()}",
+                deadline_s=wall_s,
+            )
+    return cloud.sim.now - started_sim
 
 
 def http_load_experiment(
@@ -33,12 +110,17 @@ def http_load_experiment(
     think_time_s: float = 0.1,
     seed: int = 0,
     name: str = "http-exp",
+    phase_wall_s: Optional[float] = DEFAULT_PHASE_WALL_S,
 ) -> Dict[str, float]:
     """Closed-loop HTTP against a freshly-spawned webserver container.
 
-    Returns completed count, error count and latency percentiles.
+    Returns completed count, error count and latency percentiles.  Each
+    phase (deploy, load) runs under a ``phase_wall_s`` wall-clock watchdog.
     """
-    record = cloud.spawn_and_wait("webserver", name=name, node_id=server_node)
+    deploy = cloud.spawn("webserver", name=name, node_id=server_node)
+    run_phase(cloud, f"{name}:deploy", signal=deploy,
+              sim_seconds=86_400.0, wall_s=phase_wall_s)
+    record = deploy.value
     server = HttpServerApp(cloud.container(name),
                            default_response_bytes=response_bytes)
     client = HttpClientApp(
@@ -47,7 +129,8 @@ def http_load_experiment(
     )
     run = client.run_closed_loop(workers=workers, duration_s=duration_s,
                                  think_time_s=think_time_s)
-    cloud.run_until_signal(run)
+    run_phase(cloud, f"{name}:load", signal=run,
+              sim_seconds=duration_s * 20.0 + 3600.0, wall_s=phase_wall_s)
     server.stop()
     summary = run.value
     summary["throughput_rps"] = summary["completed"] / duration_s
@@ -60,11 +143,15 @@ def elephant_storm(
     size_bytes: float = mib(10),
     src_rack: int = 0,
     dst_rack: int = 1,
+    sim_deadline_s: float = 24 * 3600.0,
+    wall_s: Optional[float] = DEFAULT_PHASE_WALL_S,
 ) -> Dict[str, object]:
     """Parallel inter-rack elephants; returns completion time and paths.
 
     The canonical C3 workload: exposes how the routing mode uses (or
-    wastes) the multi-root redundancy.
+    wastes) the multi-root redundancy.  The storm phase runs under a
+    sim-time deadline and a wall-clock watchdog; a storm that cannot
+    finish raises :class:`DeadlineExceeded` instead of hanging.
     """
     racks = cloud.rack_inventory()
     src_hosts = racks[f"rack{src_rack}"]
@@ -76,8 +163,22 @@ def elephant_storm(
             dst_hosts[index % len(dst_hosts)],
             size_bytes, flow_key=index, tag=f"elephant{index}",
         ))
-    cloud.run_for(24 * 3600.0)
-    assert all(t.done.triggered for t in transfers), "storm did not finish"
+    # Completion signal that fires when every flow settles (success OR
+    # failure) -- AllOf would fail fast on the first broken flow, but the
+    # storm wants to count failures in the result row.
+    settled = Signal(cloud.sim, name="storm.settled")
+    remaining = len(transfers)
+
+    def on_flow_done(_sig) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            settled.succeed()
+
+    for t in transfers:
+        t.done.add_done_callback(on_flow_done)
+    run_phase(cloud, "elephant-storm", signal=settled,
+              sim_seconds=sim_deadline_s, wall_s=wall_s)
     failed = [t for t in transfers if not t.done.ok]
     completed = [t for t in transfers if t.done.ok]
     return {

@@ -16,6 +16,31 @@ class SimulationError(PiCloudError):
     """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
 
 
+class SimBudgetExceeded(SimulationError):
+    """A simulation run blew through its run budget (events / sim time / wall clock).
+
+    ``snapshot`` is a :class:`repro.sim.budget.BudgetSnapshot` with the
+    diagnostic state at the moment the budget tripped: pending events,
+    runnable processes, and the tail of recently executed events -- enough
+    to find the component that stopped making progress.
+    """
+
+    def __init__(self, message: str, snapshot=None) -> None:
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+class DeadlineExceeded(PiCloudError):
+    """A guarded operation (container start/stop/migrate, REST call,
+    experiment phase) did not complete within its deadline."""
+
+    def __init__(self, message: str, deadline_s: float = 0.0,
+                 attempts: int = 1) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.attempts = attempts
+
+
 class HardwareError(PiCloudError):
     """Base class for hardware-model failures."""
 

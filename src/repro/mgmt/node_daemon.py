@@ -27,9 +27,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.errors import PiCloudError, RestError
+from repro.errors import DeadlineExceeded, PiCloudError, RestError
 from repro.hostos.kernelhost import HostKernel
 from repro.mgmt.rest import RestRequest, RestServer
+from repro.sim.process import AnyOf, Timeout
 from repro.virt.container import ContainerState
 from repro.virt.image import ContainerImage
 from repro.virt.lxc import LxcRuntime
@@ -48,6 +49,7 @@ class NodeDaemon:
         runtime: Optional[LxcRuntime] = None,
         port: int = NODE_DAEMON_PORT,
         peer_resolver: Optional[Callable[[str], "NodeDaemon"]] = None,
+        op_deadline_s: Optional[float] = None,
     ) -> None:
         self.kernel = kernel
         self.sim = kernel.sim
@@ -55,9 +57,38 @@ class NodeDaemon:
         # peer_resolver("pi-r1-n3") -> that node's daemon; installed by the
         # pimaster so migrations can find their destination runtime.
         self.peer_resolver = peer_resolver
+        # Watchdog for timed lifecycle work (create/start/migrate): the
+        # guarded operation fails with HTTP 504 after this many simulated
+        # seconds instead of blocking the daemon forever.
+        self.op_deadline_s = op_deadline_s
+        self.deadline_trips = 0
         self._images: Dict[str, ContainerImage] = {}
         self.server = RestServer(kernel, port, name=f"daemon:{kernel.node_id}")
         self._register_routes()
+
+    def _guarded(self, waitable, what: str):
+        """Wait on ``waitable`` with the daemon's operation deadline.
+
+        A generator helper (``yield from self._guarded(...)``): returns the
+        waitable's value, or raises :class:`DeadlineExceeded` once
+        ``op_deadline_s`` simulated seconds pass without completion.
+        """
+        if self.op_deadline_s is None:
+            result = yield waitable
+            return result
+        guard = Timeout(self.sim, self.op_deadline_s)
+        try:
+            winner, value = yield AnyOf(self.sim, [waitable, guard])
+        finally:
+            guard.cancel()
+        if winner == 1:
+            self.deadline_trips += 1
+            raise DeadlineExceeded(
+                f"{what} on {self.node_id} exceeded the "
+                f"{self.op_deadline_s}s operation deadline",
+                deadline_s=self.op_deadline_s,
+            )
+        return value
 
     @property
     def node_id(self) -> str:
@@ -148,12 +179,20 @@ class NodeDaemon:
             memory_limit_bytes=body.get("memory_limit_bytes"),
         )
         try:
-            container = yield create
+            container = yield from self._guarded(create, "container create")
+        except DeadlineExceeded as exc:
+            raise RestError(504, str(exc)) from exc
         except Exception as exc:
             raise RestError(409, f"create failed: {exc}") from exc
         if body.get("start", True):
             try:
-                yield self.runtime.lxc_start(container, ip=body.get("ip"))
+                yield from self._guarded(
+                    self.runtime.lxc_start(container, ip=body.get("ip")),
+                    "container start",
+                )
+            except DeadlineExceeded as exc:
+                self.runtime.lxc_destroy(container)
+                raise RestError(504, str(exc)) from exc
             except Exception as exc:
                 self.runtime.lxc_destroy(container)
                 raise RestError(507, f"start failed: {exc}") from exc
@@ -177,7 +216,12 @@ class NodeDaemon:
         container = self._container_or_404(name)
         body = request.body or {}
         try:
-            yield self.runtime.lxc_start(container, ip=body.get("ip"))
+            yield from self._guarded(
+                self.runtime.lxc_start(container, ip=body.get("ip")),
+                "container start",
+            )
+        except DeadlineExceeded as exc:
+            raise RestError(504, str(exc)) from exc
         except Exception as exc:
             raise RestError(409, f"start failed: {exc}") from exc
         return 200, container.describe()
@@ -229,7 +273,11 @@ class NodeDaemon:
         except KeyError:
             raise RestError(404, f"unknown destination node {destination_id!r}") from None
         try:
-            report = yield live_migrate(container, peer.runtime)
+            report = yield from self._guarded(
+                live_migrate(container, peer.runtime), "live migration"
+            )
+        except DeadlineExceeded as exc:
+            raise RestError(504, str(exc)) from exc
         except Exception as exc:
             raise RestError(409, f"migration failed: {exc}") from exc
         return 200, {

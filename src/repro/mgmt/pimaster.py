@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import ManagementError, PlacementError
+from repro.errors import DeadlineExceeded, ManagementError, PlacementError, RestError
 from repro.hostos.kernelhost import HostKernel
 from repro.mgmt.dashboard import Dashboard
 from repro.mgmt.dhcp import DhcpServer
@@ -23,7 +23,7 @@ from repro.mgmt.rest import RestClient
 from repro.netsim.addresses import Ipv4Pool
 from repro.placement.base import NodeView, PlacementPolicy, PlacementRequest
 from repro.placement.policies import FirstFit
-from repro.sim.process import Signal
+from repro.sim.process import Signal, Timeout
 
 
 @dataclass
@@ -58,13 +58,23 @@ class PiMaster:
         placement_policy: Optional[PlacementPolicy] = None,
         monitoring_interval_s: float = 5.0,
         image_service: Optional[ImageService] = None,
+        op_deadline_s: float = 1800.0,
+        op_attempts: int = 3,
+        op_backoff_s: float = 1.0,
     ) -> None:
         self.kernel = kernel
         self.sim = kernel.sim
         # Management calls can legitimately take minutes (an image push
         # moves hundreds of MiB across the fabric onto an SD card), so the
-        # head node's client timeout is generous.
-        self.client = RestClient(kernel.netstack, timeout_s=1800.0)
+        # per-attempt deadline defaults generous; transport-level failures
+        # (timeout, no route, connection refused) are retried with
+        # exponential backoff before the orchestration gives up.
+        self.op_deadline_s = op_deadline_s
+        self.op_attempts = op_attempts
+        self.op_backoff_s = op_backoff_s
+        self.op_retries = 0
+        self.op_deadline_failures = 0
+        self.client = RestClient(kernel.netstack, timeout_s=op_deadline_s)
         self.dhcp = DhcpServer(self.sim, Ipv4Pool(subnet))
         self.dns = DnsServer(zone)
         self.images = image_service or ImageService(self.sim)
@@ -157,6 +167,39 @@ class PiMaster:
 
     # -- orchestration ------------------------------------------------------------------
 
+    def _call_with_retry(self, send, what: str):
+        """Issue ``send()`` (a REST-call factory) with retry + backoff.
+
+        A generator helper (``yield from``).  Transport-level failures --
+        the client's per-attempt deadline, connection refused, no route --
+        surface as :class:`RestError` with status 0 and are retried up to
+        ``op_attempts`` times, sleeping ``op_backoff_s * 2**attempt``
+        between tries.  Application-level errors (any real HTTP status)
+        are NOT retried: the node answered, the answer was no.  Once the
+        attempts are exhausted a typed :class:`DeadlineExceeded` is
+        raised, naming the operation.
+        """
+        last_error: Optional[RestError] = None
+        for attempt in range(self.op_attempts):
+            if attempt:
+                self.op_retries += 1
+                yield Timeout(self.sim, self.op_backoff_s * (2 ** (attempt - 1)))
+            try:
+                response = yield send()
+            except RestError as exc:
+                if exc.status != 0:
+                    raise
+                last_error = exc
+                continue
+            return response
+        self.op_deadline_failures += 1
+        raise DeadlineExceeded(
+            f"{what} failed after {self.op_attempts} attempts "
+            f"({self.op_deadline_s}s per-attempt deadline): {last_error}",
+            deadline_s=self.op_deadline_s,
+            attempts=self.op_attempts,
+        )
+
     def spawn_container(
         self,
         image: str,
@@ -213,16 +256,19 @@ class PiMaster:
                 lease = self.dhcp.request_lease(
                     client_id=container_name, hostname=container_name
                 )
-                response = yield self.client.post(
-                    record.ip, NODE_DAEMON_PORT, "/containers",
-                    body={
-                        "name": container_name,
-                        "image": container_image.qualified_name,
-                        "ip": lease.ip,
-                        "cpu_shares": cpu_shares,
-                        "cpu_quota": cpu_quota,
-                        "memory_limit_bytes": memory_limit_bytes,
-                    },
+                response = yield from self._call_with_retry(
+                    lambda: self.client.post(
+                        record.ip, NODE_DAEMON_PORT, "/containers",
+                        body={
+                            "name": container_name,
+                            "image": container_image.qualified_name,
+                            "ip": lease.ip,
+                            "cpu_shares": cpu_shares,
+                            "cpu_quota": cpu_quota,
+                            "memory_limit_bytes": memory_limit_bytes,
+                        },
+                    ),
+                    f"container create/start of {container_name!r} on {target}",
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001 - spawn failed downstream
@@ -253,8 +299,11 @@ class PiMaster:
 
         def run():
             try:
-                response = yield self.client.delete(
-                    node.ip, NODE_DAEMON_PORT, f"/containers/{name}"
+                response = yield from self._call_with_retry(
+                    lambda: self.client.delete(
+                        node.ip, NODE_DAEMON_PORT, f"/containers/{name}"
+                    ),
+                    f"container destroy of {name!r}",
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001
@@ -276,9 +325,12 @@ class PiMaster:
 
         def run():
             try:
-                response = yield self.client.post(
-                    node.ip, NODE_DAEMON_PORT, f"/containers/{name}/limits",
-                    body=limits,
+                response = yield from self._call_with_retry(
+                    lambda: self.client.post(
+                        node.ip, NODE_DAEMON_PORT, f"/containers/{name}/limits",
+                        body=limits,
+                    ),
+                    f"set_limits on {name!r}",
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001
@@ -308,9 +360,12 @@ class PiMaster:
 
         def run():
             try:
-                response = yield self.client.post(
-                    source.ip, NODE_DAEMON_PORT, f"/containers/{name}/migrate",
-                    body={"destination": destination},
+                response = yield from self._call_with_retry(
+                    lambda: self.client.post(
+                        source.ip, NODE_DAEMON_PORT, f"/containers/{name}/migrate",
+                        body={"destination": destination},
+                    ),
+                    f"migration of {name!r} to {destination}",
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001

@@ -335,10 +335,19 @@ class Network:
             # the flow always makes progress; a zero rate waits for the
             # next recompute instead.
             if flow.rate > 0 and math.isfinite(flow.rate):
-                flow._completion_event = self.sim.schedule(
-                    flow.remaining / flow.rate, self._complete, flow
-                )
-            return
+                eta = flow.remaining / flow.rate
+                if self.sim.now + eta > self.sim.now:
+                    flow._completion_event = self.sim.schedule(
+                        eta, self._complete, flow
+                    )
+                    return
+                # The residue drains in less than one representable clock
+                # tick at the current timestamp: the rescheduled event
+                # would fire at the *same* instant, _settle would move
+                # zero bytes, and the flow would re-arm itself forever.
+                # Deliver the sub-resolution residue now instead.
+            else:
+                return
         flow.remaining = 0.0
         flow.state = FlowState.DONE
         flow.completed_at = self.sim.now

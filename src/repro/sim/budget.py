@@ -1,0 +1,103 @@
+"""Run budgets for the discrete-event kernel.
+
+A :class:`RunBudget` bounds a simulation along three axes -- events
+executed, simulated time, and wall-clock time -- so that no run can spin
+forever.  When the kernel trips a budget it raises
+:class:`~repro.errors.SimBudgetExceeded` carrying a
+:class:`BudgetSnapshot`: the pending event queue head, the runnable
+processes, and the tail of recently executed events.  The snapshot is the
+debugging tool: a non-terminating simulation almost always shows the same
+callback re-executing at the same instant, and the trace names it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+DEFAULT_TRACE_LENGTH = 32
+DEFAULT_WALL_CHECK_EVERY = 1024
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Limits for one (or many) :meth:`Simulator.run` calls.
+
+    ``None`` disables an axis.  ``max_sim_time`` is an *absolute* simulated
+    timestamp: the run trips when the next event lies strictly beyond it.
+    ``max_wall_s`` is wall-clock seconds per ``run()`` call, checked every
+    ``wall_check_every`` events (cheap enough to leave on everywhere).
+    """
+
+    max_events: Optional[int] = None
+    max_sim_time: Optional[float] = None
+    max_wall_s: Optional[float] = None
+    wall_check_every: int = DEFAULT_WALL_CHECK_EVERY
+    trace_length: int = DEFAULT_TRACE_LENGTH
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {self.max_events}")
+        if self.max_sim_time is not None and self.max_sim_time < 0:
+            raise ValueError(f"max_sim_time must be >= 0, got {self.max_sim_time}")
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise ValueError(f"max_wall_s must be > 0, got {self.max_wall_s}")
+        if self.wall_check_every < 1:
+            raise ValueError("wall_check_every must be >= 1")
+
+    @property
+    def unbounded(self) -> bool:
+        return (self.max_events is None and self.max_sim_time is None
+                and self.max_wall_s is None)
+
+
+@dataclass
+class BudgetSnapshot:
+    """Diagnostic state captured the moment a budget trips.
+
+    ``reason`` is one of ``"events"``, ``"sim_time"``, ``"wall_clock"``.
+    ``pending_head`` and ``recent_events`` are ``(sim_time, label)`` pairs;
+    labels are the scheduled callback's qualified name.
+    """
+
+    reason: str
+    now: float
+    events_executed: int
+    wall_elapsed_s: float
+    pending_count: int
+    pending_head: List[Tuple[float, str]] = field(default_factory=list)
+    recent_events: List[Tuple[float, str]] = field(default_factory=list)
+    runnable_processes: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (printed by the CLI on a trip)."""
+        lines = [
+            f"budget exceeded ({self.reason}) at t={self.now:.6f} after "
+            f"{self.events_executed} events ({self.wall_elapsed_s:.2f}s wall)",
+            f"pending events: {self.pending_count}",
+        ]
+        for when, label in self.pending_head:
+            lines.append(f"  next  t={when:.6f}  {label}")
+        if self.runnable_processes:
+            lines.append(f"live processes: {len(self.runnable_processes)}")
+            for name in self.runnable_processes[:16]:
+                lines.append(f"  proc  {name}")
+        if self.recent_events:
+            lines.append(f"last {len(self.recent_events)} executed events:")
+            for when, label in self.recent_events:
+                lines.append(f"  done  t={when:.6f}  {label}")
+        return "\n".join(lines)
+
+    def repeated_callback(self) -> Optional[str]:
+        """The label dominating the recent trace, if one does (>= half).
+
+        This is the usual smoking gun for a non-terminating loop: one
+        callback rescheduling itself at the same instant.
+        """
+        if not self.recent_events:
+            return None
+        counts: dict[str, int] = {}
+        for __, label in self.recent_events:
+            counts[label] = counts.get(label, 0) + 1
+        label, count = max(counts.items(), key=lambda kv: kv[1])
+        return label if count * 2 >= len(self.recent_events) else None

@@ -9,9 +9,25 @@ handling -- ultimately becomes an event on this queue.
 from __future__ import annotations
 
 import heapq
+import time
+from collections import deque
 from typing import Any, Callable, Optional
 
-from repro.errors import SimulationError
+from repro.errors import SimBudgetExceeded, SimulationError
+from repro.sim.budget import DEFAULT_TRACE_LENGTH, BudgetSnapshot, RunBudget
+
+
+def _callback_label(callback: Callable[..., None]) -> str:
+    """Stable human-readable name for a scheduled callback."""
+    label = getattr(callback, "__qualname__", None)
+    if label is None:
+        label = getattr(type(callback), "__qualname__", repr(callback))
+    owner = getattr(callback, "__self__", None)
+    if owner is not None:
+        name = getattr(owner, "name", None)
+        if isinstance(name, str) and name:
+            label = f"{label}[{name}]"
+    return label
 
 
 class Event:
@@ -72,12 +88,29 @@ class Simulator:
     import at definition time.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, budget: Optional[RunBudget] = None) -> None:
         self._now = 0.0
         self._queue: list[Event] = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        self.budget = budget
+        self.budget_trips = 0
+        self.watchdog_trips = 0  # wall-clock trips specifically
+        # Observers called with the BudgetSnapshot when a budget trips
+        # (telemetry wiring; see repro.telemetry.budget).
+        self.budget_hooks: list[Callable[[BudgetSnapshot], None]] = []
+        trace_length = budget.trace_length if budget else DEFAULT_TRACE_LENGTH
+        self._trace: deque[tuple[float, str]] = deque(maxlen=trace_length)
+        # Live Process objects (registered by repro.sim.process) so budget
+        # snapshots can name what was still runnable.
+        self._live_processes: set = set()
+
+    def set_budget(self, budget: Optional[RunBudget]) -> None:
+        """Install (or clear) the default budget for subsequent runs."""
+        self.budget = budget
+        if budget is not None and budget.trace_length != self._trace.maxlen:
+            self._trace = deque(self._trace, maxlen=budget.trace_length)
 
     # -- clock ------------------------------------------------------------
 
@@ -134,33 +167,68 @@ class Simulator:
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
-        """Execute the single next event.  Returns False if none remained."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self.events_executed += 1
-            event.callback(*event.args)
-            return True
-        return False
+        """Execute the single next event.  Returns False if none remained.
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        The installed budget's event and sim-time axes are enforced here,
+        so even callers that drive the kernel one event at a time (signal
+        waits, experiment phases) cannot spin past them.  Wall-clock
+        enforcement lives in :meth:`run`, which owns a start timestamp.
+        """
+        if self.peek() is None:
+            return False
+        event = self._queue[0]
+        budget = self.budget
+        if budget is not None:
+            if (budget.max_events is not None
+                    and self.events_executed >= budget.max_events):
+                self._trip(budget, "events", 0.0)
+            if (budget.max_sim_time is not None
+                    and event.time > budget.max_sim_time):
+                if budget.max_sim_time > self._now:
+                    self._now = budget.max_sim_time
+                self._trip(budget, "sim_time", 0.0)
+        heapq.heappop(self._queue)
+        self._now = event.time
+        self.events_executed += 1
+        self._trace.append((event.time, _callback_label(event.callback)))
+        event.callback(*event.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        budget: Optional[RunBudget] = None,
+    ) -> None:
         """Run events in order.
 
         Stops when the queue drains, when the next event lies strictly
         beyond ``until`` (the clock is then advanced *to* ``until``), or
         after ``max_events`` events -- whichever comes first.  ``run`` may
         be called repeatedly to resume.
+
+        ``budget`` (or, if omitted, the simulator's installed default
+        budget) is a hard safety net: unlike ``until``/``max_events``,
+        which return quietly, exhausting a budget raises
+        :class:`~repro.errors.SimBudgetExceeded` with a diagnostic
+        :class:`~repro.sim.budget.BudgetSnapshot`.  The event budget is
+        cumulative over the simulator's lifetime; the wall-clock budget is
+        per ``run()`` call.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
+        effective = budget if budget is not None else self.budget
+        if effective is not None and effective.unbounded:
+            effective = None
         executed = 0
+        wall_start = time.monotonic() if effective is not None else 0.0
         try:
             while True:
                 if max_events is not None and executed >= max_events:
                     return
+                if effective is not None:
+                    self._enforce(effective, wall_start, executed)
                 next_time = self.peek()
                 if next_time is None:
                     if until is not None and until > self._now:
@@ -169,10 +237,65 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     return
+                if (effective is not None
+                        and effective.max_sim_time is not None
+                        and next_time > effective.max_sim_time):
+                    if effective.max_sim_time > self._now:
+                        self._now = effective.max_sim_time
+                    self._trip(effective, "sim_time",
+                               time.monotonic() - wall_start)
                 self.step()
                 executed += 1
         finally:
             self._running = False
+
+    # -- budget enforcement ------------------------------------------------
+
+    def _enforce(self, budget: RunBudget, wall_start: float, executed: int) -> None:
+        if (budget.max_events is not None
+                and self.events_executed >= budget.max_events):
+            self._trip(budget, "events", time.monotonic() - wall_start)
+        if (budget.max_wall_s is not None
+                and executed % budget.wall_check_every == 0
+                and time.monotonic() - wall_start > budget.max_wall_s):
+            self.watchdog_trips += 1
+            self._trip(budget, "wall_clock", time.monotonic() - wall_start)
+
+    def _trip(self, budget: RunBudget, reason: str, wall_elapsed_s: float) -> None:
+        self.budget_trips += 1
+        snapshot = self.snapshot(reason, wall_elapsed_s=wall_elapsed_s)
+        for hook in self.budget_hooks:
+            hook(snapshot)
+        limit = {
+            "events": f"{budget.max_events} events",
+            "sim_time": f"sim time t={budget.max_sim_time}",
+            "wall_clock": f"{budget.max_wall_s}s wall clock",
+        }[reason]
+        message = f"simulation exceeded its run budget ({limit})"
+        culprit = snapshot.repeated_callback()
+        if culprit is not None:
+            message += f"; recent events dominated by {culprit}"
+        raise SimBudgetExceeded(f"{message}\n{snapshot.describe()}", snapshot)
+
+    def snapshot(self, reason: str = "inspect",
+                 wall_elapsed_s: float = 0.0, head: int = 8) -> BudgetSnapshot:
+        """Capture the kernel's diagnostic state (cheap; safe anytime)."""
+        pending = [e for e in self._queue if not e.cancelled]
+        pending.sort()
+        return BudgetSnapshot(
+            reason=reason,
+            now=self._now,
+            events_executed=self.events_executed,
+            wall_elapsed_s=wall_elapsed_s,
+            pending_count=len(pending),
+            pending_head=[
+                (e.time, _callback_label(e.callback)) for e in pending[:head]
+            ],
+            recent_events=list(self._trace),
+            runnable_processes=sorted(
+                getattr(p, "name", repr(p)) for p in self._live_processes
+            ),
+        )
 
     def pending_events(self) -> int:
         """Number of non-cancelled events still queued (O(n); for tests)."""

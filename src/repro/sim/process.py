@@ -227,9 +227,16 @@ class Process(Signal):
         self._waiting_on: Optional[Signal] = None
         self._wait_epoch = 0
         self._started = False
+        # Registered for budget snapshots: the kernel reports live
+        # processes when a run budget trips.
+        sim._live_processes.add(self)
         # Start on the event queue (not synchronously) so a process never
         # runs before its creator finishes the current statement.
         sim.schedule(0.0, self._start)
+
+    def _trigger(self, value: Any, exc: Optional[BaseException]) -> None:
+        self.sim._live_processes.discard(self)
+        super()._trigger(value, exc)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -5,11 +5,13 @@ throughput, request latency, power draw -- into these primitives so that
 experiments and the management dashboard read from one consistent source.
 """
 
+from repro.telemetry.budget import BudgetTelemetry
 from repro.telemetry.monitor import MetricsRegistry, PeriodicSampler
 from repro.telemetry.series import Counter, Gauge, TimeSeries
 from repro.telemetry.stats import Summary, summarize
 
 __all__ = [
+    "BudgetTelemetry",
     "Counter",
     "Gauge",
     "MetricsRegistry",

@@ -2,6 +2,10 @@
 
 import pytest
 
+# This module used to hang on a netsim sub-resolution-residue bug; pin it
+# tight so any regression fails fast instead of wedging CI.
+pytestmark = pytest.mark.timeout(30)
+
 from repro.core import PiCloud, PiCloudConfig
 from repro.placement import Consolidator, WorstFit
 

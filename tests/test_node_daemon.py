@@ -2,6 +2,10 @@
 
 import pytest
 
+# This module used to hang on a netsim sub-resolution-residue bug; pin it
+# tight so any regression fails fast instead of wedging CI.
+pytestmark = pytest.mark.timeout(30)
+
 from repro.hardware import Machine, RASPBERRY_PI_MODEL_B
 from repro.hostos import HostKernel, IpFabric
 from repro.mgmt import NODE_DAEMON_PORT, NodeDaemon, RestClient
