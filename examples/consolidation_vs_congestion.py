@@ -11,9 +11,19 @@ congestion and power, then consolidate aggressively and measure again:
 power drops (machines powered off) while the packed hosts' access links
 congest.
 
-Run:  python examples/consolidation_vs_congestion.py
+With ``--trace-out trace.json`` the whole run is causally traced: every
+migration is a ``virt.migrate`` span whose pre-copy rounds are child
+``net.flow`` spans, and congestion episodes appear as ``congestion:*``
+spans you can line up against them in the Chrome trace viewer
+(chrome://tracing or https://ui.perfetto.dev) -- or query in code::
+
+    migration = cloud.tracer.find_spans(name="virt.migrate")[0]
+    cloud.tracer.overlapping(migration, name_prefix="congestion:")
+
+Run:  python examples/consolidation_vs_congestion.py [--trace-out trace.json]
 """
 
+import argparse
 import random
 
 from repro import PiCloud, PiCloudConfig
@@ -21,69 +31,103 @@ from repro.apps import OnOffTrafficSource
 from repro.placement import Consolidator, WorstFit
 from repro.units import kib
 
-config = PiCloudConfig.small(
-    racks=2, pis=3, start_monitoring=False, routing="shortest"
-)
-cloud = PiCloud(config)
-cloud.boot()
 
-# Six containers spread as wide as possible (WorstFit), forming three
-# client->server pairs that talk continuously.
-records = []
-for i in range(6):
-    records.append(cloud.spawn_and_wait("base", name=f"c{i}", policy=WorstFit()))
-print("Spread placement:", {r.name: r.node_id for r in records})
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a causal trace here (.jsonl = span "
+                             "records, else Chrome trace-viewer JSON)")
+    parser.add_argument("--pairs", type=int, default=3,
+                        help="chatty client->server container pairs")
+    parser.add_argument("--warmup", type=float, default=120.0,
+                        help="simulated seconds of traffic before consolidation")
+    parser.add_argument("--settle", type=float, default=600.0,
+                        help="simulated seconds given to the consolidation round")
+    parser.add_argument("--measure", type=float, default=120.0,
+                        help="simulated seconds of traffic after consolidation")
+    args = parser.parse_args(argv)
 
-rng = random.Random(7)
-pairs = [(records[i], records[i + 3]) for i in range(3)]
-sources = []
-for sender, receiver in pairs:
-    receiver_container = cloud.container(receiver.name)
-    receiver_container.listen(9000)
-    sender_container = cloud.container(sender.name)
+    config = PiCloudConfig.small(
+        racks=2, pis=3, start_monitoring=False, routing="shortest",
+        tracing=args.trace_out is not None,
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
 
-    def make_send(src=sender_container, dst_ip=receiver.ip):
-        return lambda: src.send(dst_ip, 9000, "chunk", size=kib(256))
+    # Containers spread as wide as possible (WorstFit), forming
+    # client->server pairs that talk continuously.
+    records = []
+    for i in range(2 * args.pairs):
+        records.append(
+            cloud.spawn_and_wait("base", name=f"c{i}", policy=WorstFit())
+        )
+    print("Spread placement:", {r.name: r.node_id for r in records})
 
-    sources.append(OnOffTrafficSource(
-        cloud.sim, rng, make_send(), on_mean_s=2.0, off_mean_s=0.5,
-        rate_per_s=20.0,
-    ))
+    rng = random.Random(7)
+    pairs = [(records[i], records[i + args.pairs]) for i in range(args.pairs)]
+    sources = []
+    for sender, receiver in pairs:
+        receiver_container = cloud.container(receiver.name)
+        receiver_container.listen(9000)
+        sender_container = cloud.container(sender.name)
+
+        def make_send(src=sender_container, dst_ip=receiver.ip):
+            return lambda: src.send(dst_ip, 9000, "chunk", size=kib(256))
+
+        sources.append(OnOffTrafficSource(
+            cloud.sim, rng, make_send(), on_mean_s=2.0, off_mean_s=0.5,
+            rate_per_s=20.0,
+        ))
+
+    def congestion_snapshot():
+        rows = cloud.network.congestion_report()
+        worst = rows[0]
+        total_congested = sum(r["congested_s"] for r in rows)
+        return worst, total_congested
+
+    cloud.run_for(args.warmup)
+    worst_before, congested_before = congestion_snapshot()
+    watts_before = cloud.total_watts()
+    print(f"\nBefore consolidation: {watts_before:.1f} W, "
+          f"total congested link-seconds={congested_before:.1f} "
+          f"(worst: {worst_before['direction']} {worst_before['congested_s']:.1f}s)")
+
+    # Aggressive consolidation: pack everything, power off empty Pis.
+    runtimes = {name: daemon.runtime for name, daemon in cloud.daemons.items()}
+    consolidator = Consolidator(cloud.sim, runtimes, power_off_empty=True)
+    round_done = consolidator.run_round()
+    cloud.run_for(args.settle)
+    report = round_done.value
+    print(f"\nConsolidation: {report.executed_migrations} migrations, "
+          f"{report.total_bytes_moved / 1e6:.0f} MB moved, "
+          f"powered off {report.hosts_powered_off}")
+
+    cloud.run_for(args.measure)
+    worst_after, congested_after = congestion_snapshot()
+    watts_after = cloud.total_watts()
+    print(f"\nAfter consolidation: {watts_after:.1f} W, "
+          f"total congested link-seconds={congested_after:.1f} "
+          f"(worst: {worst_after['direction']} {worst_after['congested_s']:.1f}s)")
+
+    print(f"\nPower saved: {watts_before - watts_after:.1f} W "
+          f"({(1 - watts_after / watts_before) * 100:.0f}%)")
+    print(f"Congestion added: {congested_after - congested_before:.1f} link-seconds")
+    print("\n=> consolidation trades network congestion for power -- the "
+          "cross-layer ripple the PiCloud exists to expose.")
+
+    if args.trace_out:
+        path = cloud.write_trace(args.trace_out)
+        migrations = cloud.tracer.find_spans(name="virt.migrate")
+        episodes = cloud.tracer.find_spans(name_prefix="congestion:")
+        linked = sum(
+            1 for m in migrations
+            if cloud.tracer.overlapping(m, name_prefix="congestion:")
+        )
+        print(f"\nTrace written to {path}: {len(cloud.tracer.spans)} spans, "
+              f"{len(migrations)} migrations, {len(episodes)} congestion "
+              f"episodes ({linked} migrations overlap an episode)")
+    return cloud
 
 
-def congestion_snapshot():
-    rows = cloud.network.congestion_report()
-    worst = rows[0]
-    total_congested = sum(r["congested_s"] for r in rows)
-    return worst, total_congested
-
-
-cloud.run_for(120.0)
-worst_before, congested_before = congestion_snapshot()
-watts_before = cloud.total_watts()
-print(f"\nBefore consolidation: {watts_before:.1f} W, "
-      f"total congested link-seconds={congested_before:.1f} "
-      f"(worst: {worst_before['direction']} {worst_before['congested_s']:.1f}s)")
-
-# Aggressive consolidation: pack everything, power off empty Pis.
-runtimes = {name: daemon.runtime for name, daemon in cloud.daemons.items()}
-consolidator = Consolidator(cloud.sim, runtimes, power_off_empty=True)
-round_done = consolidator.run_round()
-cloud.run_for(600.0)
-report = round_done.value
-print(f"\nConsolidation: {report.executed_migrations} migrations, "
-      f"{report.total_bytes_moved / 1e6:.0f} MB moved, "
-      f"powered off {report.hosts_powered_off}")
-
-cloud.run_for(120.0)
-worst_after, congested_after = congestion_snapshot()
-watts_after = cloud.total_watts()
-print(f"\nAfter consolidation: {watts_after:.1f} W, "
-      f"total congested link-seconds={congested_after:.1f} "
-      f"(worst: {worst_after['direction']} {worst_after['congested_s']:.1f}s)")
-
-print(f"\nPower saved: {watts_before - watts_after:.1f} W "
-      f"({(1 - watts_after / watts_before) * 100:.0f}%)")
-print(f"Congestion added: {congested_after - congested_before:.1f} link-seconds")
-print("\n=> consolidation trades network congestion for power -- the "
-      "cross-layer ripple the PiCloud exists to expose.")
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Walkthrough: causally trace one management request across every layer.
+
+Spawns a single container with tracing on, then uses the repro.trace
+query API to answer the questions a latency investigation asks:
+
+1. What did the spawn *cause*?        (children_of, recursive)
+2. Which chain set its finish time?   (critical_path)
+3. Where did the time actually go?    (latency_by_layer)
+4. What else was happening meanwhile? (overlapping)
+
+Finally exports the trace for the Chrome trace viewer
+(chrome://tracing or https://ui.perfetto.dev).
+
+Run:  python examples/trace_a_request.py [out.json]
+"""
+
+import sys
+
+from repro import PiCloud, PiCloudConfig
+
+cloud = PiCloud(PiCloudConfig.small(tracing=True, start_monitoring=False))
+cloud.boot()
+record = cloud.spawn_and_wait("webserver", name="web-1")
+tracer = cloud.tracer
+
+# 1. The spawn's causal subtree: the pimaster's REST call, each retry
+# attempt, the daemon's serving span, the LXC create/start, and every
+# network flow the exchange put on the fabric.
+spawn = tracer.find_spans(name="mgmt.spawn")[0]
+print(f"spawn of {record.name!r} on {record.node_id}: "
+      f"{spawn.duration(cloud.sim.now):.2f}s simulated, status={spawn.status}")
+print("\ncausal subtree:")
+for span in tracer.children_of(spawn, recursive=True):
+    indent = "  "
+    parent_id = span.parent_id
+    while parent_id is not None and parent_id != spawn.span_id:
+        indent += "  "
+        parent_id = tracer.span(parent_id).parent_id
+    print(f"{indent}[{span.kind:<11}] {span.name}  "
+          f"({span.duration(cloud.sim.now):.3f}s, {span.status})")
+
+# 2. The critical path: the chain of spans that determined when the
+# spawn finished -- what a latency optimiser should attack first.
+print("\ncritical path:")
+for span in tracer.critical_path(spawn):
+    print(f"  {span.name}  ends at t={span.end_time:.3f}s")
+
+# 3. Self-time per layer: how much of the spawn's latency each layer
+# spent itself (children's time is not double-counted).
+print("\nlatency by layer (self-time, seconds):")
+for kind, seconds in sorted(tracer.latency_by_layer(spawn).items(),
+                            key=lambda kv: -kv[1]):
+    print(f"  {kind:<12} {seconds:8.3f}")
+
+# 4. Interval queries: anything overlapping the spawn in simulated time,
+# related by causality or not (congestion episodes, faults, ...).
+flows = tracer.overlapping(spawn, kind="net")
+print(f"\nnetwork flows overlapping the spawn window: {len(flows)}")
+
+out = sys.argv[1] if len(sys.argv) > 1 else "trace_a_request.json"
+cloud.write_trace(out)
+print(f"\ntrace written to {out} -- load it in chrome://tracing")

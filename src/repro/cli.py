@@ -41,6 +41,10 @@ def _add_cloud_arguments(parser: argparse.ArgumentParser) -> None:
                         help="run budget: abort past simulated time T (s)")
     parser.add_argument("--wall-timeout", type=float, default=None, metavar="S",
                         help="watchdog: abort a run after S wall-clock seconds")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                        help="record a causal trace and write it to PATH "
+                             "(.jsonl = span records, anything else = "
+                             "Chrome trace-viewer JSON)")
 
 
 def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
@@ -51,10 +55,24 @@ def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
         max_events=args.max_events,
         max_sim_time_s=args.max_sim_time,
         max_wall_s=args.wall_timeout,
+        tracing=args.trace_out is not None,
     )
     cloud = PiCloud(config)
+    # Remembered so main() can export the trace even when the command
+    # aborts (e.g. a tripped run budget).
+    args._cloud = cloud
     cloud.boot()
     return cloud
+
+
+def _export_trace(args: argparse.Namespace) -> None:
+    cloud = getattr(args, "_cloud", None)
+    if cloud is None or getattr(args, "trace_out", None) is None:
+        return
+    if cloud.tracer is None:
+        return
+    path = cloud.write_trace(args.trace_out)
+    print(f"trace written to {path}", file=sys.stderr)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -160,6 +178,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except PiCloudError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _export_trace(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

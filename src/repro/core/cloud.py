@@ -39,6 +39,7 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import AllOf, Signal
 from repro.sim.rng import RngRegistry
 from repro.telemetry.budget import BudgetTelemetry
+from repro.trace import Tracer
 from repro.virt.container import Container
 
 PIMASTER_NODE = "pimaster"
@@ -52,6 +53,11 @@ class PiCloud:
     def __init__(self, config: Optional[PiCloudConfig] = None) -> None:
         self.config = config or PiCloudConfig()
         self.sim = Simulator(budget=self.config.run_budget())
+        self.tracer: Optional[Tracer] = None
+        if self.config.tracing:
+            self.tracer = Tracer(
+                self.sim, kernel_events=self.config.trace_kernel_events
+            )
         self.budget_telemetry = BudgetTelemetry(self.sim)
         self.rng = RngRegistry(self.config.seed)
 
@@ -267,6 +273,21 @@ class PiCloud:
 
     def repair_link(self, a: str, b: str) -> None:
         self.network.repair_link(a, b)
+
+    # -- tracing ----------------------------------------------------------------------
+
+    def write_trace(self, path: str) -> str:
+        """Export the recorded trace; ``.jsonl`` -> JSONL, else Chrome JSON.
+
+        Open spans are closed at the current clock first, so a trace
+        exported mid-run (or after a budget trip) is still well-formed.
+        """
+        if self.tracer is None:
+            raise PiCloudError(
+                "tracing is off; build with PiCloudConfig(tracing=True)"
+            )
+        self.tracer.finish_open_spans()
+        return self.tracer.write(path)
 
     # -- measurements ------------------------------------------------------------------------
 

@@ -77,6 +77,14 @@ class PiCloudConfig:
     op_attempts: int = 3
     op_backoff_s: float = 1.0
 
+    # -- tracing ----------------------------------------------------------
+    # When on, a repro.trace.Tracer is installed on the simulator at build
+    # time and every layer's spans (rest/mgmt/virt/net) are recorded.
+    # trace_kernel_events additionally logs each kernel event dispatch as
+    # an instant on a "sim.kernel" track (bounded; expensive -- debug only).
+    tracing: bool = False
+    trace_kernel_events: bool = False
+
     # -- reproducibility --------------------------------------------------------------
     seed: int = 0
 

@@ -32,13 +32,18 @@ class SimBudgetExceeded(SimulationError):
 
 class DeadlineExceeded(PiCloudError):
     """A guarded operation (container start/stop/migrate, REST call,
-    experiment phase) did not complete within its deadline."""
+    experiment phase) did not complete within its deadline.
+
+    ``trace_id`` links the failure to its causal trace when tracing is
+    on (also surfaced in node-daemon 504 response bodies).
+    """
 
     def __init__(self, message: str, deadline_s: float = 0.0,
-                 attempts: int = 1) -> None:
+                 attempts: int = 1, trace_id=None) -> None:
         super().__init__(message)
         self.deadline_s = deadline_s
         self.attempts = attempts
+        self.trace_id = trace_id
 
 
 class HardwareError(PiCloudError):
@@ -98,12 +103,18 @@ class ManagementError(PiCloudError):
 
 
 class RestError(ManagementError):
-    """A REST call returned a non-success status."""
+    """A REST call returned a non-success status.
 
-    def __init__(self, status: int, message: str = "") -> None:
+    ``extra`` is merged into the error response body by the REST server,
+    carrying structured fields (e.g. the ``trace_id`` of a timed-out
+    operation) back to the caller.
+    """
+
+    def __init__(self, status: int, message: str = "", extra: dict = None) -> None:
         super().__init__(f"HTTP {status}: {message}" if message else f"HTTP {status}")
         self.status = status
         self.message = message
+        self.extra = dict(extra) if extra else {}
 
 
 class LeaseError(ManagementError):

@@ -20,10 +20,18 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Literal, Optional, Tuple
 
+from repro import trace
 from repro.core.cloud import PiCloud
 from repro.sim.process import Timeout
 
 FaultKind = Literal["node-fail", "node-repair", "link-fail", "link-repair"]
+
+
+def _trace_fault(cloud: PiCloud, kind: FaultKind, target: str) -> None:
+    """Mark a fault on the causal trace as a zero-duration span."""
+    trace.instant(cloud.sim, f"fault.{kind}", kind="fault",
+                  attributes={"target": target},
+                  status="ok" if kind.endswith("repair") else "error")
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,7 @@ class FaultSchedule:
             a, b = target.split("|")
             self.cloud.repair_link(a, b)
         self.log.append(FaultEvent(self.cloud.sim.now, kind, target))
+        _trace_fault(self.cloud, kind, target)
 
 
 class MtbfFaultInjector:
@@ -159,6 +168,7 @@ class MtbfFaultInjector:
             victim = self.rng.choice(candidates)
             self.cloud.fail_node(victim)
             self.log.append(FaultEvent(sim.now, "node-fail", victim))
+            _trace_fault(self.cloud, "node-fail", victim)
             sim.schedule(
                 self.rng.expovariate(1.0 / self.mttr_s), self._repair_node, victim
             )
@@ -170,6 +180,7 @@ class MtbfFaultInjector:
         machine.repair()
         machine.boot_immediately()
         self.log.append(FaultEvent(self.cloud.sim.now, "node-repair", node_id))
+        _trace_fault(self.cloud, "node-repair", node_id)
 
     def _link_loop(self):
         deadline = self._deadline()
@@ -185,6 +196,7 @@ class MtbfFaultInjector:
             a, b = self.rng.choice(up)
             self.cloud.fail_link(a, b)
             self.log.append(FaultEvent(sim.now, "link-fail", f"{a}|{b}"))
+            _trace_fault(self.cloud, "link-fail", f"{a}|{b}")
             sim.schedule(
                 self.rng.expovariate(1.0 / self.mttr_s), self._repair_link, a, b
             )
@@ -194,6 +206,7 @@ class MtbfFaultInjector:
             return
         self.cloud.repair_link(a, b)
         self.log.append(FaultEvent(self.cloud.sim.now, "link-repair", f"{a}|{b}"))
+        _trace_fault(self.cloud, "link-repair", f"{a}|{b}")
 
     # -- analysis ---------------------------------------------------------------
 

@@ -204,12 +204,14 @@ class NetStack:
         src_port: Optional[int] = None,
         flow_key: Any = None,
         tag: str = "",
+        parent=None,
     ) -> Signal:
         """Transmit a message; the Signal fires with it once delivered.
 
         Fails with :class:`ConnectionRefusedError` if nothing listens on
         the destination, or a :class:`~repro.errors.NetworkError` if the
-        fabric cannot carry the flow.
+        fabric cannot carry the flow.  ``parent`` attributes the carrying
+        flow to a causal trace (see :mod:`repro.trace`).
         """
         message = Message(
             src_ip=src_ip or self.primary_ip,
@@ -243,6 +245,7 @@ class NetStack:
             flow_key=key,
             rate_cap=self._rate_caps.get(message.src_ip),
             tag=tag or f"msg:{dst_ip}:{dst_port}",
+            parent=parent,
         )
 
         def on_flow(sig: Signal) -> None:
@@ -266,10 +269,12 @@ class NetStack:
         flow.done.add_done_callback(on_flow)
         return done
 
-    def reply(self, request: Message, payload: Any, size: int, tag: str = "") -> Signal:
+    def reply(self, request: Message, payload: Any, size: int, tag: str = "",
+              parent=None) -> Signal:
         """Send a response back to a request's source address."""
         dst_ip, dst_port = request.reply_address
         return self.send(
             dst_ip, dst_port, payload, size,
             src_ip=request.dst_ip, src_port=request.dst_port, tag=tag,
+            parent=parent,
         )

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from repro import trace
 from repro.errors import ImageError
 from repro.mgmt.rest import RestClient
 from repro.sim.kernel import Simulator
@@ -66,17 +67,24 @@ class ImageService:
         node_ip: str,
         node_port: int,
         image: ContainerImage,
+        parent=None,
     ) -> Signal:
         """Push ``image`` to a node unless it already has it.
 
         The Signal succeeds with True if a push happened, False if the
         cache was already warm; fails with :class:`ImageError` wrapping
-        any transport/daemon error.
+        any transport/daemon error.  ``parent`` threads the caller's span
+        so the push (a large flow on the fabric) is causally attributed.
         """
         done = Signal(self.sim, name=f"image-push:{image.qualified_name}:{node_id}")
         if self.node_has(node_id, image):
             done.succeed(False)
             return done
+        span = trace.start_span(
+            self.sim, "mgmt.image_push", parent=parent, kind="mgmt",
+            attributes={"image": image.qualified_name, "node": node_id,
+                        "bytes": image.rootfs_bytes},
+        )
 
         def run():
             try:
@@ -91,9 +99,11 @@ class ImageService:
                     },
                     # The POST body *is* the rootfs: size it accordingly.
                     wire_size=image.rootfs_bytes,
+                    parent=span,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001 - wrap for the caller
+                span.end("error", str(exc))
                 done.fail(ImageError(
                     f"push of {image.qualified_name} to {node_id} failed: {exc}"
                 ))
@@ -101,6 +111,7 @@ class ImageService:
             self.mark_cached(node_id, image)
             self.pushes += 1
             self.push_bytes += image.rootfs_bytes
+            span.end("ok")
             done.succeed(True)
 
         self.sim.process(run(), name=f"image-push:{node_id}")

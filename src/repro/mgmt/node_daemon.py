@@ -66,12 +66,14 @@ class NodeDaemon:
         self.server = RestServer(kernel, port, name=f"daemon:{kernel.node_id}")
         self._register_routes()
 
-    def _guarded(self, waitable, what: str):
+    def _guarded(self, waitable, what: str, parent=None):
         """Wait on ``waitable`` with the daemon's operation deadline.
 
         A generator helper (``yield from self._guarded(...)``): returns the
         waitable's value, or raises :class:`DeadlineExceeded` once
         ``op_deadline_s`` simulated seconds pass without completion.
+        ``parent`` (the serving span's context) stamps the deadline error
+        with its ``trace_id`` so 504s are correlatable with their trace.
         """
         if self.op_deadline_s is None:
             result = yield waitable
@@ -87,8 +89,15 @@ class NodeDaemon:
                 f"{what} on {self.node_id} exceeded the "
                 f"{self.op_deadline_s}s operation deadline",
                 deadline_s=self.op_deadline_s,
+                trace_id=getattr(parent, "trace_id", None),
             )
         return value
+
+    @staticmethod
+    def _trace_504(exc: DeadlineExceeded) -> RestError:
+        """A 504 response carrying the timed-out operation's trace id."""
+        extra = {"trace_id": exc.trace_id} if exc.trace_id is not None else None
+        return RestError(504, str(exc), extra=extra)
 
     @property
     def node_id(self) -> str:
@@ -171,28 +180,33 @@ class NodeDaemon:
         image = self._images.get(body["image"])
         if image is None:
             raise RestError(409, f"image {body['image']!r} not cached on {self.node_id}")
+        ctx = request.server_trace or request.trace
         create = self.runtime.lxc_create(
             body["name"],
             image,
             cpu_shares=body.get("cpu_shares", 1024),
             cpu_quota=body.get("cpu_quota"),
             memory_limit_bytes=body.get("memory_limit_bytes"),
+            parent=ctx,
         )
         try:
-            container = yield from self._guarded(create, "container create")
+            container = yield from self._guarded(create, "container create",
+                                                 parent=ctx)
         except DeadlineExceeded as exc:
-            raise RestError(504, str(exc)) from exc
+            raise self._trace_504(exc) from exc
         except Exception as exc:
             raise RestError(409, f"create failed: {exc}") from exc
         if body.get("start", True):
             try:
                 yield from self._guarded(
-                    self.runtime.lxc_start(container, ip=body.get("ip")),
+                    self.runtime.lxc_start(container, ip=body.get("ip"),
+                                           parent=ctx),
                     "container start",
+                    parent=ctx,
                 )
             except DeadlineExceeded as exc:
                 self.runtime.lxc_destroy(container)
-                raise RestError(504, str(exc)) from exc
+                raise self._trace_504(exc) from exc
             except Exception as exc:
                 self.runtime.lxc_destroy(container)
                 raise RestError(507, f"start failed: {exc}") from exc
@@ -215,13 +229,15 @@ class NodeDaemon:
     def _start(self, request: RestRequest, name: str):
         container = self._container_or_404(name)
         body = request.body or {}
+        ctx = request.server_trace or request.trace
         try:
             yield from self._guarded(
-                self.runtime.lxc_start(container, ip=body.get("ip")),
+                self.runtime.lxc_start(container, ip=body.get("ip"), parent=ctx),
                 "container start",
+                parent=ctx,
             )
         except DeadlineExceeded as exc:
-            raise RestError(504, str(exc)) from exc
+            raise self._trace_504(exc) from exc
         except Exception as exc:
             raise RestError(409, f"start failed: {exc}") from exc
         return 200, container.describe()
@@ -272,12 +288,15 @@ class NodeDaemon:
             peer = self.peer_resolver(destination_id)
         except KeyError:
             raise RestError(404, f"unknown destination node {destination_id!r}") from None
+        ctx = request.server_trace or request.trace
         try:
             report = yield from self._guarded(
-                live_migrate(container, peer.runtime), "live migration"
+                live_migrate(container, peer.runtime, parent=ctx),
+                "live migration",
+                parent=ctx,
             )
         except DeadlineExceeded as exc:
-            raise RestError(504, str(exc)) from exc
+            raise self._trace_504(exc) from exc
         except Exception as exc:
             raise RestError(409, f"migration failed: {exc}") from exc
         return 200, {

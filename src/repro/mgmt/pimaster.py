@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import trace
 from repro.errors import DeadlineExceeded, ManagementError, PlacementError, RestError
 from repro.hostos.kernelhost import HostKernel
 from repro.mgmt.dashboard import Dashboard
@@ -167,8 +168,8 @@ class PiMaster:
 
     # -- orchestration ------------------------------------------------------------------
 
-    def _call_with_retry(self, send, what: str):
-        """Issue ``send()`` (a REST-call factory) with retry + backoff.
+    def _call_with_retry(self, send, what: str, parent=None):
+        """Issue ``send(span)`` (a REST-call factory) with retry + backoff.
 
         A generator helper (``yield from``).  Transport-level failures --
         the client's per-attempt deadline, connection refused, no route --
@@ -178,19 +179,29 @@ class PiMaster:
         are NOT retried: the node answered, the answer was no.  Once the
         attempts are exhausted a typed :class:`DeadlineExceeded` is
         raised, naming the operation.
+
+        ``send`` receives the attempt's span so the underlying REST call
+        (and everything server-side) nests under it; each attempt is one
+        child span of ``parent``, failed attempts ending in error status.
         """
         last_error: Optional[RestError] = None
         for attempt in range(self.op_attempts):
             if attempt:
                 self.op_retries += 1
                 yield Timeout(self.sim, self.op_backoff_s * (2 ** (attempt - 1)))
+            attempt_span = trace.start_span(
+                self.sim, "mgmt.attempt", parent=parent, kind="mgmt",
+                attributes={"what": what, "attempt": attempt + 1},
+            )
             try:
-                response = yield send()
+                response = yield send(attempt_span)
             except RestError as exc:
+                attempt_span.end("error", str(exc))
                 if exc.status != 0:
                     raise
                 last_error = exc
                 continue
+            attempt_span.end("ok")
             return response
         self.op_deadline_failures += 1
         raise DeadlineExceeded(
@@ -198,6 +209,7 @@ class PiMaster:
             f"({self.op_deadline_s}s per-attempt deadline): {last_error}",
             deadline_s=self.op_deadline_s,
             attempts=self.op_attempts,
+            trace_id=getattr(parent, "trace_id", None),
         )
 
     def spawn_container(
@@ -223,7 +235,12 @@ class PiMaster:
         container_image = self.images.get(image)
         self._spawn_seq += 1
         container_name = name or f"{container_image.name}-{self._spawn_seq}"
+        span = trace.start_span(
+            self.sim, "mgmt.spawn", kind="mgmt",
+            attributes={"image": container_image.name, "container": container_name},
+        )
         if container_name in self._containers:
+            span.end("error", "name in use")
             done.fail(ManagementError(f"container name {container_name!r} in use"))
             return done
 
@@ -246,18 +263,21 @@ class PiMaster:
                     target = chooser.choose(request, self.node_views())
             except PlacementError as exc:
                 self.spawn_failures += 1
+                span.end("error", str(exc))
                 done.fail(exc)
                 return
+            span.set_attribute("node", target)
             record = self._nodes[target]
             try:
                 yield self.images.ensure_cached(
-                    self.client, target, record.ip, NODE_DAEMON_PORT, container_image
+                    self.client, target, record.ip, NODE_DAEMON_PORT,
+                    container_image, parent=span,
                 )
                 lease = self.dhcp.request_lease(
                     client_id=container_name, hostname=container_name
                 )
                 response = yield from self._call_with_retry(
-                    lambda: self.client.post(
+                    lambda attempt: self.client.post(
                         record.ip, NODE_DAEMON_PORT, "/containers",
                         body={
                             "name": container_name,
@@ -267,12 +287,15 @@ class PiMaster:
                             "cpu_quota": cpu_quota,
                             "memory_limit_bytes": memory_limit_bytes,
                         },
+                        parent=attempt,
                     ),
                     f"container create/start of {container_name!r} on {target}",
+                    parent=span,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001 - spawn failed downstream
                 self.spawn_failures += 1
+                span.end("error", str(exc))
                 done.fail(ManagementError(f"spawn of {container_name!r} failed: {exc}"))
                 return
             fqdn = self.dns.register(container_name, lease.ip)
@@ -286,6 +309,7 @@ class PiMaster:
             )
             self._containers[container_name] = container_record
             self.spawns += 1
+            span.end("ok")
             done.succeed(container_record)
 
         self.sim.process(run(), name=f"spawn:{container_name}")
@@ -296,22 +320,28 @@ class PiMaster:
         done = Signal(self.sim, name=f"destroy:{name}")
         record = self.container_record(name)
         node = self._nodes[record.node_id]
+        span = trace.start_span(self.sim, "mgmt.destroy", kind="mgmt",
+                                attributes={"container": name})
 
         def run():
             try:
                 response = yield from self._call_with_retry(
-                    lambda: self.client.delete(
-                        node.ip, NODE_DAEMON_PORT, f"/containers/{name}"
+                    lambda attempt: self.client.delete(
+                        node.ip, NODE_DAEMON_PORT, f"/containers/{name}",
+                        parent=attempt,
                     ),
                     f"container destroy of {name!r}",
+                    parent=span,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001
+                span.end("error", str(exc))
                 done.fail(ManagementError(f"destroy of {name!r} failed: {exc}"))
                 return
             self.dns.unregister(name)
             self.dhcp.release(name)
             del self._containers[name]
+            span.end("ok")
             done.succeed(name)
 
         self.sim.process(run(), name=f"destroy:{name}")
@@ -322,20 +352,25 @@ class PiMaster:
         done = Signal(self.sim, name=f"limits:{name}")
         record = self.container_record(name)
         node = self._nodes[record.node_id]
+        span = trace.start_span(self.sim, "mgmt.set_limits", kind="mgmt",
+                                attributes={"container": name})
 
         def run():
             try:
                 response = yield from self._call_with_retry(
-                    lambda: self.client.post(
+                    lambda attempt: self.client.post(
                         node.ip, NODE_DAEMON_PORT, f"/containers/{name}/limits",
-                        body=limits,
+                        body=limits, parent=attempt,
                     ),
                     f"set_limits on {name!r}",
+                    parent=span,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001
+                span.end("error", str(exc))
                 done.fail(ManagementError(f"set_limits on {name!r} failed: {exc}"))
                 return
+            span.end("ok")
             done.succeed(response.body)
 
         self.sim.process(run(), name=f"limits:{name}")
@@ -357,18 +392,25 @@ class PiMaster:
             done.fail(ManagementError(f"unknown destination node {destination!r}"))
             return done
         source = self._nodes[record.node_id]
+        span = trace.start_span(
+            self.sim, "mgmt.migrate", kind="mgmt",
+            attributes={"container": name, "source": record.node_id,
+                        "destination": destination},
+        )
 
         def run():
             try:
                 response = yield from self._call_with_retry(
-                    lambda: self.client.post(
+                    lambda attempt: self.client.post(
                         source.ip, NODE_DAEMON_PORT, f"/containers/{name}/migrate",
-                        body={"destination": destination},
+                        body={"destination": destination}, parent=attempt,
                     ),
                     f"migration of {name!r} to {destination}",
+                    parent=span,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001
+                span.end("error", str(exc))
                 done.fail(ManagementError(f"migration of {name!r} failed: {exc}"))
                 return
             record.node_id = destination
@@ -380,15 +422,18 @@ class PiMaster:
                     rebind = yield self.client.post(
                         self._nodes[destination].ip, NODE_DAEMON_PORT,
                         f"/containers/{name}/rebind", body={"ip": lease.ip},
+                        parent=span,
                     )
                     rebind.raise_for_status()
                     record.ip = lease.ip
                     self.dns.update(name, lease.ip)
                 except Exception as exc:  # noqa: BLE001
+                    span.end("error", str(exc))
                     done.fail(ManagementError(
                         f"IP reassignment for {name!r} failed: {exc}"
                     ))
                     return
+            span.end("ok")
             done.succeed(response.body)
 
         self.sim.process(run(), name=f"migrate:{name}")

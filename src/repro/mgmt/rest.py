@@ -23,10 +23,12 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import trace
 from repro.errors import RestError
 from repro.hostos.kernelhost import HostKernel
 from repro.hostos.netstack import Message, NetStack
 from repro.sim.process import AnyOf, Signal, Timeout
+from repro.trace.span import SpanContext
 from repro.units import mcycles
 
 PROTOCOL_OVERHEAD_BYTES = 256  # headers, framing
@@ -50,6 +52,12 @@ class RestRequest:
     # Override: pretend the body is this many bytes on the wire (used for
     # image pushes, where the body *represents* a rootfs blob).
     wire_size: Optional[int] = None
+    # Causal trace propagation (repro.trace).  ``trace`` is the caller's
+    # span context, set by RestClient; ``server_trace`` is the serving
+    # span's context, set by RestServer before the handler runs so
+    # handler-side work can parent its own spans correctly.
+    trace: Optional[SpanContext] = None
+    server_trace: Optional[SpanContext] = None
 
     @property
     def size(self) -> int:
@@ -149,6 +157,12 @@ class RestServer:
 
     def _handle(self, message: Message):
         request: RestRequest = message.payload
+        span = trace.start_span(
+            self.sim, f"rest.server {request.method} {request.path}",
+            parent=request.trace, kind="rest.server",
+            attributes={"server": self.name},
+        )
+        request.server_trace = span.context
         if self.request_cpu_cycles > 0:
             yield self.kernel.run_cycles(
                 self.request_cpu_cycles, name=f"rest:{self.name}"
@@ -166,13 +180,16 @@ class RestServer:
                 status, body = result
                 response = RestResponse(status, body)
             except RestError as exc:
-                response = RestResponse(exc.status, {"error": exc.message})
+                response = RestResponse(exc.status, {"error": exc.message, **exc.extra})
             except Exception as exc:  # noqa: BLE001 - 500 like a real server
                 response = RestResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
         if not response.ok:
             self.requests_failed += 1
         self.requests_served += 1
-        yield self.kernel.netstack.reply(message, response, size=response.size)
+        span.set_attribute("status", response.status)
+        span.end("ok" if response.ok else "error")
+        yield self.kernel.netstack.reply(message, response, size=response.size,
+                                         parent=span)
 
 
 class RestClient:
@@ -193,15 +210,24 @@ class RestClient:
         body: Any = None,
         wire_size: Optional[int] = None,
         src_ip: Optional[str] = None,
+        parent=None,
     ) -> Signal:
         """Send a request; the Signal succeeds with a :class:`RestResponse`.
 
         Fails with :class:`~repro.errors.RestError` (status 0) on timeout
-        or network errors (connection refused, no route).
+        or network errors (connection refused, no route).  ``parent`` (a
+        span or span context) threads causal tracing through the call:
+        the request carries this client span's context so the serving
+        side's spans nest under it.
         """
         done = Signal(self.sim, name=f"rest-call:{method}:{path}")
+        span = trace.start_span(
+            self.sim, f"rest.client {method.upper()} {path}",
+            parent=parent, kind="rest.client",
+            attributes={"dst": f"{dst_ip}:{dst_port}"},
+        )
         request = RestRequest(method=method.upper(), path=path, body=body,
-                              wire_size=wire_size)
+                              wire_size=wire_size, trace=span.context)
         self.requests_sent += 1
 
         def run():
@@ -212,17 +238,21 @@ class RestClient:
                 try:
                     yield self.netstack.send(
                         dst_ip, dst_port, request, size=request.size,
-                        src_ip=reply_ip, src_port=reply_port,
+                        src_ip=reply_ip, src_port=reply_port, parent=span,
                     )
                 except Exception as exc:  # network-level failure
+                    span.end("error", f"send failed: {exc}")
                     done.fail(RestError(0, f"send failed: {exc}"))
                     return
                 guard = Timeout(self.sim, self.timeout_s)
                 winner, value = yield AnyOf(self.sim, [inbox.get(), guard])
                 if winner == 1:
+                    span.end("error", f"timeout after {self.timeout_s}s")
                     done.fail(RestError(0, f"timeout after {self.timeout_s}s"))
                     return
                 guard.cancel()
+                span.set_attribute("status", value.payload.status)
+                span.end("ok")
                 done.succeed(value.payload)
             finally:
                 self.netstack.close(reply_port, ip=reply_ip)
@@ -230,12 +260,13 @@ class RestClient:
         self.sim.process(run(), name=f"rest-call:{method}:{path}")
         return done
 
-    def get(self, dst_ip: str, dst_port: int, path: str) -> Signal:
-        return self.request("GET", dst_ip, dst_port, path)
+    def get(self, dst_ip: str, dst_port: int, path: str, parent=None) -> Signal:
+        return self.request("GET", dst_ip, dst_port, path, parent=parent)
 
     def post(self, dst_ip: str, dst_port: int, path: str, body: Any = None,
-             wire_size: Optional[int] = None) -> Signal:
-        return self.request("POST", dst_ip, dst_port, path, body, wire_size)
+             wire_size: Optional[int] = None, parent=None) -> Signal:
+        return self.request("POST", dst_ip, dst_port, path, body, wire_size,
+                            parent=parent)
 
-    def delete(self, dst_ip: str, dst_port: int, path: str) -> Signal:
-        return self.request("DELETE", dst_ip, dst_port, path)
+    def delete(self, dst_ip: str, dst_port: int, path: str, parent=None) -> Signal:
+        return self.request("DELETE", dst_ip, dst_port, path, parent=parent)

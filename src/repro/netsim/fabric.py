@@ -14,6 +14,7 @@ import enum
 import math
 from typing import Dict, Hashable, Iterable, List, Optional
 
+from repro import trace
 from repro.errors import ConnectionResetError, NetworkError, NoRouteError
 from repro.netsim.fairness import max_min_rates
 from repro.netsim.link import Link, LinkDirection
@@ -22,6 +23,7 @@ from repro.netsim.topology import Topology
 from repro.sim.kernel import Event, Simulator
 from repro.sim.process import Signal, Timeout
 from repro.telemetry.series import Counter, TimeSeries
+from repro.trace.span import NULL_SPAN
 
 _EPSILON_BYTES = 1e-6
 
@@ -63,6 +65,8 @@ class FlowTransfer:
         self.tag = tag
         self.state = FlowState.PENDING
         self.done = Signal(network.sim, name=f"flow{self.flow_id}.done")
+        # Causal trace span covering request -> last byte (repro.trace).
+        self.span = NULL_SPAN
 
         self.path: List[str] = []
         self.directions: List[LinkDirection] = []
@@ -183,12 +187,15 @@ class Network:
         flow_key: Hashable = None,
         rate_cap: Optional[float] = None,
         tag: str = "",
+        parent=None,
     ) -> FlowTransfer:
         """Start a transfer of ``nbytes`` from ``src`` to ``dst``.
 
         Returns immediately with a :class:`FlowTransfer`; wait on its
         ``done`` signal for completion.  A zero-byte transfer still pays
         the path's propagation latency (it models a control message).
+        ``parent`` (a span or span context) attributes the flow to its
+        causal trace.
         """
         if nbytes < 0:
             raise NetworkError(f"cannot transfer {nbytes} bytes")
@@ -196,6 +203,10 @@ class Network:
             if node not in self.topology.graph:
                 raise NetworkError(f"unknown endpoint {node!r}")
         flow = FlowTransfer(self, src, dst, nbytes, flow_key, rate_cap, tag)
+        flow.span = trace.start_span(
+            self.sim, "net.flow", parent=parent, kind="net",
+            attributes={"src": src, "dst": dst, "bytes": nbytes, "tag": tag},
+        )
         self.sim.process(self._run_flow(flow), name=f"flow{flow.flow_id}")
         return flow
 
@@ -358,6 +369,7 @@ class Network:
         # Re-solve rates *before* waking waiters, so code resumed by this
         # completion observes post-completion link loads.
         self._recompute()
+        flow.span.end("ok")
         for observer in self.flow_observers:
             observer(flow)
         flow.done.succeed(flow)
@@ -369,6 +381,7 @@ class Network:
         flow.state = FlowState.FAILED
         self._detach(flow)
         self.flows_failed.add()
+        flow.span.end("error", str(exc))
         for observer in self.flow_observers:
             observer(flow)
         flow.done.fail(exc)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Set
 
+from repro import trace
 from repro.sim.kernel import Simulator
 from repro.telemetry.series import Counter, Gauge
 
@@ -39,6 +40,8 @@ class LinkDirection:
         self._congested_since: Optional[float] = None
         self.congested_seconds = 0.0
         self.congestion_episodes = 0
+        # Open span covering the current congestion episode (repro.trace).
+        self._congestion_span = None
 
     @property
     def name(self) -> str:
@@ -61,10 +64,18 @@ class LinkDirection:
             if self._congested_since is None:
                 self._congested_since = now
                 self.congestion_episodes += 1
+                self._congestion_span = trace.start_span(
+                    self.sim, f"congestion:{self.name}", kind="net",
+                    attributes={"direction": self.name,
+                                "episode": self.congestion_episodes},
+                )
         else:
             if self._congested_since is not None:
                 self.congested_seconds += now - self._congested_since
                 self._congested_since = None
+                if self._congestion_span is not None:
+                    self._congestion_span.end("ok")
+                    self._congestion_span = None
 
     def finalize_congestion(self) -> None:
         """Close an open congestion interval at the current clock (end of run)."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import trace
 from repro.sim.kernel import Simulator
 from repro.sim.process import AllOf, Signal
 from repro.virt.container import Container
@@ -135,10 +136,15 @@ class Consolidator:
         moves = moves[: self.aggressiveness]
         report.planned_migrations = len(moves)
         done = Signal(self.sim, name="consolidation.round")
+        span = trace.start_span(
+            self.sim, "consolidation.round", kind="mgmt",
+            attributes={"round": self.rounds_run, "planned": len(moves)},
+        )
 
         def run():
             for container, target in moves:
-                migration = live_migrate(container, self.runtimes[target])
+                migration = live_migrate(container, self.runtimes[target],
+                                         parent=span)
                 try:
                     migration_report = yield migration
                 except Exception:  # noqa: BLE001 - count and continue
@@ -166,6 +172,9 @@ class Consolidator:
                         report.hosts_powered_off.append(host)
                         if self.on_power_off is not None:
                             self.on_power_off(host)
+            span.set_attribute("executed", report.executed_migrations)
+            span.set_attribute("failed", report.failed_migrations)
+            span.end("ok" if report.failed_migrations == 0 else "error")
             done.succeed(report)
 
         self.sim.process(run(), name="consolidation.round")

@@ -68,6 +68,11 @@ class BudgetSnapshot:
     pending_head: List[Tuple[float, str]] = field(default_factory=list)
     recent_events: List[Tuple[float, str]] = field(default_factory=list)
     runnable_processes: List[str] = field(default_factory=list)
+    # When a repro.trace.Tracer is installed, the trace id of the most
+    # recently started still-open span at the moment of the trip -- the
+    # handle that correlates a watchdog/budget failure with the causal
+    # trace of the operation that was in flight.
+    trace_id: Optional[int] = None
 
     def describe(self) -> str:
         """Multi-line human-readable dump (printed by the CLI on a trip)."""
@@ -76,6 +81,8 @@ class BudgetSnapshot:
             f"{self.events_executed} events ({self.wall_elapsed_s:.2f}s wall)",
             f"pending events: {self.pending_count}",
         ]
+        if self.trace_id is not None:
+            lines.append(f"active trace: {self.trace_id}")
         for when, label in self.pending_head:
             lines.append(f"  next  t={when:.6f}  {label}")
         if self.runnable_processes:

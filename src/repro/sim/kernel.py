@@ -95,6 +95,10 @@ class Simulator:
         self._running = False
         self.events_executed = 0
         self.budget = budget
+        # Causal tracing hook (repro.trace.Tracer installs itself here).
+        # None keeps the kernel's dispatch path tracing-free: the only
+        # per-event cost is the is-None check below.
+        self.tracer = None
         self.budget_trips = 0
         self.watchdog_trips = 0  # wall-clock trips specifically
         # Observers called with the BudgetSnapshot when a budget trips
@@ -190,7 +194,11 @@ class Simulator:
         heapq.heappop(self._queue)
         self._now = event.time
         self.events_executed += 1
-        self._trace.append((event.time, _callback_label(event.callback)))
+        label = _callback_label(event.callback)
+        self._trace.append((event.time, label))
+        tracer = self.tracer
+        if tracer is not None and tracer.kernel_events:
+            tracer.on_kernel_event(event.time, label)
         event.callback(*event.args)
         return True
 
@@ -294,6 +302,9 @@ class Simulator:
             recent_events=list(self._trace),
             runnable_processes=sorted(
                 getattr(p, "name", repr(p)) for p in self._live_processes
+            ),
+            trace_id=(
+                self.tracer.active_trace_id() if self.tracer is not None else None
             ),
         )
 

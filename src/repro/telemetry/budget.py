@@ -53,6 +53,13 @@ class BudgetTelemetry:
                 min(1.0, self.sim.events_executed / budget.max_events)
             )
 
+    @property
+    def last_trip_trace_id(self) -> Optional[int]:
+        """Trace id in flight when the last budget trip happened (or None)."""
+        if self.last_snapshot is None:
+            return None
+        return self.last_snapshot.trace_id
+
     def report(self) -> dict[str, float]:
         """Plain-dict summary row (experiment tabulation friendly)."""
         self.sample()

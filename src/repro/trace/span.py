@@ -1,0 +1,169 @@
+"""Spans: the unit of causal tracing.
+
+A :class:`Span` is one timed operation somewhere in the stack -- a REST
+request, a retry attempt, a container start, a network flow, a congestion
+episode on one link direction.  Spans carry
+
+* identity: ``trace_id`` (shared by everything causally downstream of one
+  root operation), ``span_id`` (unique per span) and ``parent_id``;
+* simulated-time bounds: ``start`` always, ``end`` once finished;
+* a ``kind`` naming the layer (``mgmt``, ``rest``, ``virt``, ``net``,
+  ``sim``, ``fault``, ...) so cross-layer reports can group by it;
+* free-form ``attributes`` and a terminal ``status`` (``"ok"`` /
+  ``"error"``).
+
+Identifiers are small deterministic integers handed out by the
+:class:`~repro.trace.tracer.Tracer`, so two runs with the same seed
+produce byte-identical traces.
+
+:data:`NULL_SPAN` is the do-nothing stand-in returned by the
+instrumentation helpers when no tracer is installed: call sites can
+unconditionally ``span.end()`` / ``span.set_attribute(...)`` without
+paying for tracing they did not turn on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple, Optional
+
+
+class SpanContext(NamedTuple):
+    """The propagatable part of a span: just enough to parent children.
+
+    Carried across layer boundaries (inside REST requests, passed to
+    ``Network.transfer``, ...) instead of the full :class:`Span` so a
+    receiver can create children without being able to mutate the parent.
+    """
+
+    trace_id: int
+    span_id: int
+
+
+class Span:
+    """One recorded operation.  Created via ``Tracer.start_span``."""
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "kind",
+        "start", "end_time", "status", "status_detail", "attributes",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        kind: str,
+        start: float,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end_time: Optional[float] = None
+        self.status: Optional[str] = None
+        self.status_detail: Optional[str] = None
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def duration(self, now: Optional[float] = None) -> float:
+        """Span length in simulated seconds (open spans run to ``now``)."""
+        end = self.end_time if self.end_time is not None else now
+        if end is None:
+            end = self.start
+        return max(0.0, end - self.start)
+
+    # -- mutation ---------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def end(self, status: str = "ok", detail: Optional[str] = None) -> "Span":
+        """Close the span at the current simulated time.  Idempotent."""
+        if self.end_time is None:
+            self._tracer._end_span(self, status, detail)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"t=[{self.start:.6f},{self.end_time:.6f}]" if self.finished \
+            else f"open@{self.start:.6f}"
+        return (
+            f"<Span {self.span_id} trace={self.trace_id} "
+            f"{self.kind}:{self.name!r} {state} {self.status}>"
+        )
+
+
+class _NullSpan:
+    """Inert span: every mutation is a no-op, ``context`` is ``None``.
+
+    Returned by the module-level helpers when tracing is off so
+    instrumented code never branches on "is tracing enabled".  Falsy, so
+    ``if span:`` also works where a call site wants to skip extra work
+    (e.g. building an expensive attribute dict).
+    """
+
+    __slots__ = ()
+
+    context = None
+    trace_id = None
+    span_id = None
+    parent_id = None
+    name = ""
+    kind = ""
+    start = 0.0
+    end_time = None
+    status = None
+    status_detail = None
+    finished = False
+    ok = False
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        return {}
+
+    def duration(self, now: Optional[float] = None) -> float:
+        return 0.0
+
+    def set_attribute(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def end(self, status: str = "ok", detail: Optional[str] = None) -> "_NullSpan":
+        return self
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NullSpan>"
+
+
+NULL_SPAN = _NullSpan()
+
+
+def context_of(span_or_context) -> Optional[SpanContext]:
+    """Coerce a Span, SpanContext, or None into a SpanContext (or None)."""
+    if span_or_context is None:
+        return None
+    if isinstance(span_or_context, SpanContext):
+        return span_or_context
+    return span_or_context.context

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro import trace
 from repro.errors import ContainerStateError, OutOfMemoryError, VirtualisationError
 from repro.hostos.kernelhost import HostKernel
 from repro.sim.process import Signal, Timeout
@@ -68,6 +69,7 @@ class LxcRuntime:
         cpu_quota: Optional[float] = None,
         memory_limit_bytes: Optional[int] = None,
         provision_rootfs: bool = True,
+        parent=None,
     ) -> Signal:
         """Define a container: cgroup + rootfs copy onto the SD card.
 
@@ -77,7 +79,13 @@ class LxcRuntime:
         migration, which streams state instead).
         """
         done = Signal(self.sim, name=f"{self.host_id}.lxc-create.{name}")
+        span = trace.start_span(
+            self.sim, "virt.create", parent=parent, kind="virt",
+            attributes={"host": self.host_id, "container": name,
+                        "image": image.qualified_name},
+        )
         if name in self._containers:
+            span.end("error", "name exists")
             done.fail(VirtualisationError(f"{self.host_id}: container {name!r} exists"))
             return done
         rootfs = f"{LXC_ROOT}/{name}/rootfs"
@@ -89,6 +97,7 @@ class LxcRuntime:
                 memory_limit_bytes=memory_limit_bytes,
             )
         except Exception as exc:  # duplicate cgroup
+            span.end("error", str(exc))
             done.fail(VirtualisationError(str(exc)))
             return done
 
@@ -110,29 +119,38 @@ class LxcRuntime:
             except Exception as exc:
                 self._containers.pop(name, None)
                 self.kernel.remove_cgroup(cgroup.name)
+                span.end("error", str(exc))
                 done.fail(VirtualisationError(f"lxc-create {name!r}: {exc}"))
                 return
             self.containers_created += 1
+            span.end("ok")
             done.succeed(container)
 
         self.sim.process(run(), name=f"{self.host_id}.lxc-create.{name}")
         return done
 
-    def lxc_start(self, container: Container, ip: Optional[str] = None) -> Signal:
+    def lxc_start(self, container: Container, ip: Optional[str] = None,
+                  parent=None) -> Signal:
         """Start a defined container; charges idle RSS, binds the IP.
 
         Fails with :class:`OutOfMemoryError` if the idle footprint does not
         fit -- the mechanism behind the paper's 3-containers-per-Pi limit.
         """
         done = Signal(self.sim, name=f"{self.host_id}.lxc-start.{container.name}")
+        span = trace.start_span(
+            self.sim, "virt.start", parent=parent, kind="virt",
+            attributes={"host": self.host_id, "container": container.name},
+        )
         try:
             container.require_state(ContainerState.DEFINED)
         except ContainerStateError as exc:
+            span.end("error", str(exc))
             done.fail(exc)
             return done
         try:
             container.cgroup.charge_memory(container.image.idle_memory_bytes)
         except OutOfMemoryError as exc:
+            span.end("error", str(exc))
             done.fail(exc)
             return done
         container.memory_bytes = container.image.idle_memory_bytes
@@ -140,6 +158,7 @@ class LxcRuntime:
         def run():
             yield Timeout(self.sim, self.start_delay_s)
             if container.state is not ContainerState.DEFINED:
+                span.end("error", "state changed during start")
                 done.fail(ContainerStateError(
                     f"container {container.name!r} changed state during start"
                 ))
@@ -152,6 +171,7 @@ class LxcRuntime:
             container.state = ContainerState.RUNNING
             container.started_at = self.sim.now
             self.containers_started += 1
+            span.end("ok")
             done.succeed(container)
 
         self.sim.process(run(), name=f"{self.host_id}.lxc-start.{container.name}")

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import trace
 from repro.errors import MigrationError
 from repro.sim.process import Process, Signal, Timeout
 from repro.virt.container import Container, ContainerState
@@ -58,6 +59,7 @@ def live_migrate(
     destination: LxcRuntime,
     stop_threshold_bytes: float = DEFAULT_STOP_THRESHOLD,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    parent=None,
 ) -> Signal:
     """Start a live migration; the Signal succeeds with a MigrationReport.
 
@@ -67,18 +69,26 @@ def live_migrate(
     source = container.runtime
     sim = source.sim
     done = Signal(sim, name=f"migrate.{container.name}")
+    span = trace.start_span(
+        sim, "virt.migrate", parent=parent, kind="virt",
+        attributes={"container": container.name, "source": source.host_id,
+                    "destination": destination.host_id},
+    )
 
     if container.state is not ContainerState.RUNNING:
+        span.end("error", "not running")
         done.fail(MigrationError(
             f"container {container.name!r} is {container.state.value}, not running"
         ))
         return done
     if destination is source:
+        span.end("error", "same host")
         done.fail(MigrationError(
             f"container {container.name!r} is already on {destination.host_id}"
         ))
         return done
     if max_rounds < 1:
+        span.end("error", "max_rounds must be >= 1")
         done.fail(MigrationError("max_rounds must be >= 1"))
         return done
 
@@ -103,9 +113,11 @@ def live_migrate(
                 cpu_quota=container.cgroup.cpu_quota,
                 memory_limit_bytes=container.cgroup.memory_limit_bytes,
                 provision_rootfs=False,
+                parent=span,
             )
             dst_container.cgroup.charge_memory(container.memory_bytes)
         except Exception as exc:
+            span.end("error", str(exc))
             done.fail(MigrationError(
                 f"destination {destination.host_id} cannot host "
                 f"{container.name!r}: {exc}"
@@ -121,6 +133,7 @@ def live_migrate(
                 flow = network.transfer(
                     src_node, dst_node, to_copy,
                     tag=f"migrate:{container.name}:round{report.rounds}",
+                    parent=span,
                 )
                 yield flow.done
                 report.bytes_per_round.append(to_copy)
@@ -149,6 +162,7 @@ def live_migrate(
                 flow = network.transfer(
                     src_node, dst_node, to_copy,
                     tag=f"migrate:{container.name}:final",
+                    parent=span,
                 )
                 yield flow.done
                 report.total_bytes += to_copy
@@ -182,10 +196,15 @@ def live_migrate(
             container.migration_count += 1
             report.downtime_s = sim.now - downtime_start
             report.finished_at = sim.now
+            span.set_attribute("rounds", report.rounds)
+            span.set_attribute("downtime_s", report.downtime_s)
+            span.set_attribute("converged", report.converged)
+            span.end("ok")
             done.succeed(report)
         except Exception as exc:  # noqa: BLE001 - report migration failure
             if container.state is ContainerState.FROZEN:
                 source.lxc_unfreeze(container)
+            span.end("error", str(exc))
             done.fail(MigrationError(f"migration of {container.name!r} failed: {exc}"))
 
     sim.process(run(), name=f"migrate.{container.name}")

@@ -1,4 +1,4 @@
-"""Suite-wide hang protection.
+"""Suite-wide hang protection and failure-trace capture.
 
 ``[tool.pytest.ini_options] timeout`` in pyproject.toml gives every test a
 120 s budget.  When the ``pytest-timeout`` plugin is installed it enforces
@@ -7,14 +7,24 @@ environments without the plugin (e.g. minimal containers), so a
 non-terminating test still fails loudly with a traceback at the hang site
 instead of wedging the whole run.  ``@pytest.mark.timeout(N)`` tightens or
 relaxes the budget per test in both modes.
+
+When a test fails while causal tracing is active (``repro.trace``), every
+live tracer's spans are exported as Chrome trace JSON under
+``$PICLOUD_TRACE_DUMP_DIR`` (default ``test-traces/``); CI uploads that
+directory as an artifact so a red test ships its own timeline.
 """
 
 from __future__ import annotations
 
 import importlib.util
+import os
+import re
 import signal
+from pathlib import Path
 
 import pytest
+
+TRACE_DUMP_DIR = Path(os.environ.get("PICLOUD_TRACE_DUMP_DIR", "test-traces"))
 
 HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
 HAVE_SIGALRM = hasattr(signal, "SIGALRM")
@@ -49,6 +59,32 @@ def _timeout_for(item) -> float:
         return float(item.config.getini("timeout"))
     except (KeyError, TypeError, ValueError):
         return FALLBACK_DEFAULT_TIMEOUT_S
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_makereport(item, call):
+    report = yield
+    if report.when == "call" and report.failed:
+        _dump_live_traces(item.nodeid)
+    return report
+
+
+def _dump_live_traces(nodeid: str) -> None:
+    # Best-effort: trace capture must never mask the real test failure.
+    try:
+        from repro.trace import live_tracers
+
+        tracers = [t for t in live_tracers() if t.spans]
+        if not tracers:
+            return
+        TRACE_DUMP_DIR.mkdir(parents=True, exist_ok=True)
+        stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", nodeid).strip("_")[:150]
+        for index, tracer in enumerate(tracers):
+            tracer.finish_open_spans()
+            suffix = f"-{index}" if len(tracers) > 1 else ""
+            tracer.write_chrome(str(TRACE_DUMP_DIR / f"{stem}{suffix}.json"))
+    except Exception:  # noqa: BLE001 -- diagnostics only, never fatal
+        pass
 
 
 @pytest.hookimpl(wrapper=True)

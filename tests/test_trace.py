@@ -1,0 +1,345 @@
+"""Unit tests for the repro.trace subsystem: spans, queries, exporters."""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.sim.kernel import Simulator
+from repro.sim.process import Timeout
+from repro.trace import NULL_SPAN, SpanContext, Tracer, context_of
+from repro.trace.span import _NullSpan
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tracer(sim):
+    return Tracer(sim)
+
+
+def advance(sim, seconds):
+    """Move the simulated clock forward by scheduling a no-op."""
+    sim.schedule(seconds, lambda: None)
+    sim.run()
+
+
+# -- span identity and lifecycle ------------------------------------------
+
+
+def test_span_ids_are_deterministic_consecutive_integers(tracer):
+    a = tracer.start_span("a")
+    b = tracer.start_span("b", parent=a)
+    c = tracer.start_span("c")
+    assert (a.span_id, b.span_id, c.span_id) == (1, 2, 3)
+    assert a.trace_id == b.trace_id == 1  # b inherits a's trace
+    assert c.trace_id == 2                # parentless span: new trace
+    assert b.parent_id == a.span_id
+    assert a.parent_id is None
+
+
+def test_parent_accepts_span_context_and_none(tracer):
+    a = tracer.start_span("a")
+    via_context = tracer.start_span("child", parent=a.context)
+    assert via_context.trace_id == a.trace_id
+    assert via_context.parent_id == a.span_id
+    assert context_of(None) is None
+    context = a.context
+    assert context_of(context) is context
+    assert context_of(a) == SpanContext(a.trace_id, a.span_id)
+
+
+def test_span_times_come_from_the_simulated_clock(sim, tracer):
+    advance(sim, 5.0)
+    span = tracer.start_span("op")
+    advance(sim, 2.5)
+    span.end()
+    assert span.start == pytest.approx(5.0)
+    assert span.end_time == pytest.approx(7.5)
+    assert span.duration() == pytest.approx(2.5)
+    assert span.finished and span.ok
+
+
+def test_end_is_idempotent_and_records_status(sim, tracer):
+    span = tracer.start_span("op")
+    advance(sim, 1.0)
+    span.end("error", "boom")
+    advance(sim, 1.0)
+    span.end("ok")  # ignored: already closed
+    assert span.end_time == pytest.approx(1.0)
+    assert span.status == "error"
+    assert span.status_detail == "boom"
+    assert not span.ok
+
+
+def test_instant_records_zero_duration_span(sim, tracer):
+    advance(sim, 3.0)
+    span = tracer.instant("fault.node-fail", kind="fault",
+                          attributes={"target": "pi-r0-n0"}, status="error")
+    assert span.start == span.end_time == pytest.approx(3.0)
+    assert span.kind == "fault"
+    assert span.status == "error"
+
+
+def test_installing_a_tracer_sets_sim_attribute(sim):
+    assert sim.tracer is None
+    tracer = Tracer(sim)
+    assert sim.tracer is tracer
+    assert tracer in trace.live_tracers()
+
+
+# -- the NULL_SPAN path (tracing off) -------------------------------------
+
+
+def test_module_helpers_return_null_span_when_untraced(sim):
+    span = trace.start_span(sim, "op", kind="mgmt")
+    assert span is NULL_SPAN
+    assert trace.instant(sim, "mark") is NULL_SPAN
+
+
+def test_null_span_is_inert_and_falsy():
+    assert not NULL_SPAN
+    assert NULL_SPAN.context is None
+    assert NULL_SPAN.set_attribute("k", "v") is NULL_SPAN
+    assert NULL_SPAN.end("error", "ignored") is NULL_SPAN
+    assert NULL_SPAN.duration(99.0) == 0.0
+    assert NULL_SPAN.attributes == {}
+    assert isinstance(NULL_SPAN, _NullSpan)
+
+
+def test_null_span_as_parent_starts_a_new_trace(tracer):
+    span = tracer.start_span("op", parent=NULL_SPAN)
+    assert span.parent_id is None
+
+
+# -- queries --------------------------------------------------------------
+
+
+def test_find_spans_filters_compose(sim, tracer):
+    root = tracer.start_span("mgmt.spawn", kind="mgmt")
+    tracer.start_span("net.flow", kind="net", parent=root)
+    tracer.start_span("net.flow", kind="net")
+    tracer.start_span("congestion:tor0->pi0", kind="net")
+
+    assert len(tracer.find_spans(kind="net")) == 3
+    assert len(tracer.find_spans(name="net.flow")) == 2
+    assert len(tracer.find_spans(name_prefix="congestion:")) == 1
+    assert tracer.find_spans(kind="net", trace_id=root.trace_id)[0].parent_id \
+        == root.span_id
+    assert tracer.find_spans(predicate=lambda s: s.kind == "mgmt") == [root]
+
+
+def test_children_of_and_is_descendant(tracer):
+    root = tracer.start_span("root")
+    mid = tracer.start_span("mid", parent=root)
+    leaf = tracer.start_span("leaf", parent=mid)
+    other = tracer.start_span("other")
+
+    assert tracer.children_of(root) == [mid]
+    assert tracer.children_of(root, recursive=True) == [mid, leaf]
+    assert tracer.is_descendant(leaf, root)
+    assert tracer.is_descendant(leaf, mid)
+    assert not tracer.is_descendant(root, leaf)
+    assert not tracer.is_descendant(other, root)
+
+
+def test_overlapping_uses_closed_intervals(sim, tracer):
+    a = tracer.start_span("a")
+    advance(sim, 10.0)
+    a.end()
+    # b starts exactly where a ended: closed intervals -> they touch.
+    b = tracer.start_span("b")
+    advance(sim, 5.0)
+    b.end()
+    # c is disjoint from a.
+    c = tracer.start_span("c")
+    advance(sim, 1.0)
+    c.end()
+
+    names = {s.name for s in tracer.overlapping(a)}
+    assert names == {"b"}
+    assert {s.name for s in tracer.overlapping((0.0, 20.0))} == {"a", "b", "c"}
+    assert {s.name for s in tracer.overlapping(c)} == {"b"}
+
+
+def test_overlapping_treats_open_spans_as_ending_now(sim, tracer):
+    open_span = tracer.start_span("open")
+    advance(sim, 10.0)
+    probe = tracer.start_span("probe")
+    advance(sim, 1.0)
+    probe.end()
+    assert open_span in tracer.overlapping(probe)
+
+
+def test_critical_path_descends_latest_ending_children(sim, tracer):
+    root = tracer.start_span("root")
+    fast = tracer.start_span("fast", parent=root)
+    advance(sim, 1.0)
+    fast.end()
+    slow = tracer.start_span("slow", parent=root)
+    advance(sim, 5.0)
+    inner = tracer.start_span("inner", parent=slow)
+    advance(sim, 3.0)
+    inner.end()
+    slow.end()
+    root.end()
+
+    assert [s.name for s in tracer.critical_path(root)] \
+        == ["root", "slow", "inner"]
+
+
+def test_latency_by_layer_self_time_sums_to_root_duration(sim, tracer):
+    root = tracer.start_span("root", kind="mgmt")
+    advance(sim, 2.0)                      # 2s of mgmt self-time
+    child = tracer.start_span("child", kind="net", parent=root)
+    advance(sim, 6.0)                      # 6s inside the child
+    child.end()
+    advance(sim, 2.0)                      # 2s more mgmt self-time
+    root.end()
+
+    layers = tracer.latency_by_layer(root)
+    assert layers["mgmt"] == pytest.approx(4.0)
+    assert layers["net"] == pytest.approx(6.0)
+    assert sum(layers.values()) == pytest.approx(root.duration())
+
+
+def test_active_trace_id_tracks_most_recent_open_span(sim, tracer):
+    assert tracer.active_trace_id() is None
+    a = tracer.start_span("a")
+    b = tracer.start_span("b")  # new trace, newer span
+    assert tracer.active_trace_id() == b.trace_id
+    b.end()
+    assert tracer.active_trace_id() == a.trace_id
+    a.end()
+    assert tracer.active_trace_id() is None
+
+
+def test_finish_open_spans_closes_everything_at_now(sim, tracer):
+    span = tracer.start_span("op")
+    advance(sim, 4.0)
+    tracer.finish_open_spans()
+    assert span.finished
+    assert span.end_time == pytest.approx(4.0)
+    assert tracer.open_spans() == []
+
+
+# -- kernel event capture -------------------------------------------------
+
+
+def test_kernel_events_disabled_by_default(sim):
+    tracer = Tracer(sim)
+    advance(sim, 1.0)
+    assert len(tracer.kernel_event_log) == 0
+
+
+def test_kernel_events_captured_and_bounded(sim):
+    tracer = Tracer(sim, kernel_events=True, kernel_event_cap=3)
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert len(tracer.kernel_event_log) == 3  # deque bounded at the cap
+    times = [t for t, _ in tracer.kernel_event_log]
+    assert times == sorted(times)
+
+
+# -- exporters ------------------------------------------------------------
+
+
+def build_sample_trace(sim, tracer):
+    root = tracer.start_span("mgmt.spawn", kind="mgmt",
+                             attributes={"image": "webserver"})
+    advance(sim, 1.0)
+    flow = tracer.start_span("net.flow", kind="net", parent=root)
+    advance(sim, 2.0)
+    flow.end()
+    tracer.instant("fault.link-fail", kind="fault", status="error")
+    root.end()
+    return root, flow
+
+
+def test_chrome_trace_structure(sim, tracer):
+    root, flow = build_sample_trace(sim, tracer)
+    doc = tracer.chrome_trace()
+    events = doc["traceEvents"]
+
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in metadata} == {"fault", "mgmt", "net"}
+
+    complete = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert complete["mgmt.spawn"]["ts"] == pytest.approx(0.0)
+    assert complete["mgmt.spawn"]["dur"] == pytest.approx(3.0e6)  # us
+    assert complete["net.flow"]["ts"] == pytest.approx(1.0e6)
+    assert complete["net.flow"]["args"]["parent_id"] == root.span_id
+    assert complete["mgmt.spawn"]["args"]["image"] == "webserver"
+
+    instants = [e for e in events if e["ph"] == "i"]
+    assert any(e["name"] == "fault.link-fail" for e in instants)
+
+
+def test_chrome_trace_marks_open_spans(sim, tracer):
+    tracer.start_span("open-op")
+    advance(sim, 2.0)
+    doc = tracer.chrome_trace()
+    event = next(e for e in doc["traceEvents"] if e.get("name") == "open-op")
+    assert event["args"]["status"] == "open"
+    assert event["dur"] == pytest.approx(2.0e6)  # runs to now
+
+
+def test_write_chrome_and_jsonl_round_trip(sim, tracer, tmp_path):
+    build_sample_trace(sim, tracer)
+
+    chrome_path = tracer.write(str(tmp_path / "trace.json"))
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    assert chrome_path.endswith("trace.json")
+    assert doc["displayTimeUnit"] == "ms"
+    assert len(doc["traceEvents"]) > 0
+
+    jsonl_path = tracer.write(str(tmp_path / "trace.jsonl"))
+    records = [json.loads(line)
+               for line in (tmp_path / "trace.jsonl").read_text().splitlines()]
+    assert jsonl_path.endswith("trace.jsonl")
+    assert len(records) == len(tracer.spans)
+    by_name = {r["name"]: r for r in records}
+    assert by_name["net.flow"]["parent_id"] == by_name["mgmt.spawn"]["span_id"]
+    assert by_name["mgmt.spawn"]["attributes"] == {"image": "webserver"}
+
+
+def test_exports_are_deterministic(sim, tmp_path):
+    def build(path):
+        local_sim = Simulator()
+        local_tracer = Tracer(local_sim)
+        build_sample_trace(local_sim, local_tracer)
+        local_tracer.write_chrome(str(path))
+        return path.read_text()
+
+    assert build(tmp_path / "a.json") == build(tmp_path / "b.json")
+
+
+# -- processes with spans -------------------------------------------------
+
+
+def test_spans_across_interleaved_processes_stay_causal(sim, tracer):
+    """Explicit parenting keeps interleaved generators' spans separate."""
+
+    def worker(label):
+        span = tracer.start_span(f"work.{label}", kind="test")
+        yield Timeout(sim, 2.0)
+        child = tracer.start_span("inner", parent=span, kind="test")
+        yield Timeout(sim, 1.0)
+        child.end()
+        span.end()
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+
+    a = tracer.find_spans(name="work.a")[0]
+    b = tracer.find_spans(name="work.b")[0]
+    assert a.trace_id != b.trace_id
+    for root in (a, b):
+        kids = tracer.children_of(root)
+        assert len(kids) == 1
+        assert kids[0].trace_id == root.trace_id

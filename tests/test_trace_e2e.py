@@ -1,0 +1,100 @@
+"""End-to-end acceptance: the consolidation example's exported trace
+links congestion episodes to the migrations that caused them.
+
+Runs ``examples/consolidation_vs_congestion.py --trace-out`` (shortened
+via its scale knobs) as a subprocess, then re-reads the Chrome trace JSON
+and checks the linkage in the *artifact itself* -- migration spans and
+congestion spans overlap in simulated time, and each migration's pre-copy
+flows are its children by span ancestry.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLE = REPO_ROOT / "examples" / "consolidation_vs_congestion.py"
+
+
+@pytest.fixture(scope="module")
+def chrome_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace") / "trace.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLE), "--trace-out", str(out),
+         "--pairs", "2", "--warmup", "30", "--settle", "200",
+         "--measure", "30"],
+        capture_output=True, text=True, env=env, timeout=110,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Trace written to" in result.stdout
+    return json.loads(out.read_text())
+
+
+def spans_of(doc, predicate):
+    return [e for e in doc["traceEvents"]
+            if e["ph"] in ("X", "i") and predicate(e)]
+
+
+def interval(event):
+    return event["ts"], event["ts"] + event.get("dur", 0.0)
+
+
+def test_chrome_document_is_well_formed(chrome_doc):
+    assert chrome_doc["displayTimeUnit"] == "ms"
+    events = chrome_doc["traceEvents"]
+    tracks = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert {"mgmt", "net", "virt"} <= tracks
+    # Every span event carries the causal identifiers.
+    for event in events:
+        if event["ph"] in ("X", "i") and event.get("cat") != "sim.kernel":
+            assert {"trace_id", "span_id", "parent_id"} <= set(event["args"])
+
+
+def test_migrations_overlap_congestion_episodes(chrome_doc):
+    migrations = spans_of(chrome_doc, lambda e: e["name"] == "virt.migrate")
+    episodes = spans_of(
+        chrome_doc, lambda e: e["name"].startswith("congestion:")
+    )
+    assert migrations, "the consolidation round must migrate containers"
+    assert episodes, "packed hosts' links must congest"
+    for migration in migrations:
+        m_start, m_end = interval(migration)
+        overlapping = [
+            e for e in episodes
+            if interval(e)[0] <= m_end and m_start <= interval(e)[1]
+        ]
+        assert overlapping, (
+            f"migration of {migration['args'].get('container')} has no "
+            "concurrent congestion episode"
+        )
+
+
+def test_precopy_flows_are_children_of_their_migration(chrome_doc):
+    migrations = spans_of(chrome_doc, lambda e: e["name"] == "virt.migrate")
+    flows = spans_of(chrome_doc, lambda e: e["name"] == "net.flow")
+    for migration in migrations:
+        children = [
+            f for f in flows
+            if f["args"]["parent_id"] == migration["args"]["span_id"]
+        ]
+        assert children, "every migration streams at least one copy round"
+        assert all(f["args"]["trace_id"] == migration["args"]["trace_id"]
+                   for f in children)
+        tags = {f["args"].get("tag", "") for f in children}
+        assert any(t.startswith("migrate:") for t in tags)
+
+
+def test_consolidation_round_parents_the_migrations(chrome_doc):
+    rounds = spans_of(chrome_doc,
+                      lambda e: e["name"] == "consolidation.round")
+    migrations = spans_of(chrome_doc, lambda e: e["name"] == "virt.migrate")
+    assert len(rounds) == 1
+    round_span = rounds[0]
+    assert all(m["args"]["parent_id"] == round_span["args"]["span_id"]
+               for m in migrations)
