@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Availability under stochastic node failures, with self-healing on.
+
+The paper motivates the testbed with real DC failure behaviour (§I cites
+Gill et al.).  This experiment closes the loop: an MTBF process kills
+Pis while the pimaster's self-healing plane detects the deaths
+(heartbeats), evacuates the lost containers through the placement
+policy, and re-enrolls repaired nodes.  At the end it reports measured
+per-node and fleet availability plus the recovery plane's counters.
+
+Run:  python examples/availability_experiment.py
+      python examples/availability_experiment.py --trace-out chaos.json
+
+CI runs this as the non-blocking ``chaos-smoke`` job under the kernel's
+run-budget watchdog (``--max-events`` / ``--wall-timeout``), uploading
+the trace on failure.
+"""
+
+import argparse
+import random
+import sys
+
+from repro import PiCloud, PiCloudConfig
+from repro.errors import SimBudgetExceeded
+from repro.faults import MtbfFaultInjector
+from repro.mgmt.health import NodeHealth
+
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--seed", type=int, default=42)
+parser.add_argument("--duration", type=float, default=900.0,
+                    help="fault-campaign length in simulated seconds")
+parser.add_argument("--node-mtbf", type=float, default=150.0)
+parser.add_argument("--mttr", type=float, default=60.0)
+parser.add_argument("--max-events", type=int, default=None,
+                    help="run budget: abort after N kernel events")
+parser.add_argument("--wall-timeout", type=float, default=None,
+                    help="watchdog: abort after S wall-clock seconds")
+parser.add_argument("--trace-out", type=str, default=None,
+                    help="record a causal trace and write it here")
+args = parser.parse_args()
+
+config = PiCloudConfig.small(
+    racks=2, pis=3, start_monitoring=False, routing="shortest",
+    seed=args.seed,
+    self_healing=True,
+    heartbeat_interval_s=2.0, heartbeat_timeout_s=1.0,
+    suspect_after_misses=2, dead_after_misses=3,
+    tracing=args.trace_out is not None,
+    max_events=args.max_events, max_wall_s=args.wall_timeout,
+)
+cloud = PiCloud(config)
+cloud.boot()
+status = 0
+
+try:
+    print("phase 1: placing a baseline workload")
+    for i in range(4):
+        record = cloud.spawn_and_wait("webserver", name=f"web-{i}",
+                                      group="web")
+        print(f"  web-{i} -> {record.node_id}")
+
+    window_start = cloud.sim.now
+    print(f"\nphase 2: MTBF node-fault campaign "
+          f"(MTBF {args.node_mtbf:.0f}s, MTTR {args.mttr:.0f}s, "
+          f"{args.duration:.0f}s simulated)")
+    injector = MtbfFaultInjector(
+        cloud, rng=random.Random(args.seed),
+        node_mtbf_s=args.node_mtbf, mttr_s=args.mttr,
+        duration_s=args.duration,
+    )
+    cloud.run_for(args.duration + 2 * args.mttr)  # drain repairs/rejoins
+    injector.stop()
+    window_end = cloud.sim.now
+
+    fails = sum(1 for e in injector.log if e.kind == "node-fail")
+    repairs = sum(1 for e in injector.log if e.kind == "node-repair")
+    print(f"  {fails} node failures, {repairs} repairs")
+
+    print("\nphase 3: measured availability")
+    for node in cloud.node_names:
+        availability = injector.availability(node, window_start, window_end)
+        state = cloud.pimaster.health.state(node).value
+        print(f"  {node:10s} {availability * 100:6.2f}%  ({state})")
+    fleet = injector.fleet_availability(window_start, window_end)
+    print(f"  fleet availability: {fleet * 100:.2f}%")
+
+    health = cloud.pimaster.health
+    recovery = cloud.pimaster.recovery
+    print("\nself-healing plane:")
+    print(f"  heartbeats sent/missed: {health.heartbeats_sent}"
+          f"/{health.heartbeats_missed}")
+    print(f"  transitions: {dict(sorted(health.transitions.items()))}")
+    print(f"  evacuations: {recovery.evacuations} "
+          f"({recovery.containers_evacuated} containers, "
+          f"{recovery.containers_respawned} respawned, "
+          f"{len(recovery.unschedulable)} unschedulable)")
+    print(f"  node rejoins: {cloud.pimaster.rejoins}")
+
+    running = sum(d.runtime.running_count() for d in cloud.daemons.values())
+    alive = len(health.nodes_in(NodeHealth.ALIVE))
+    print(f"\nend state: {alive}/{len(cloud.node_names)} nodes alive, "
+          f"{running} containers running")
+    if fleet <= 0.0 or fleet > 1.0:
+        print("fleet availability out of range", file=sys.stderr)
+        status = 1
+    print("\n=> nodes die and come back, containers follow the survivors, "
+          "and the availability number quantifies the whole loop.")
+except SimBudgetExceeded as exc:
+    print("simulation aborted: run budget exceeded", file=sys.stderr)
+    if exc.snapshot is not None:
+        print(exc.snapshot.describe(), file=sys.stderr)
+    status = 3
+finally:
+    if args.trace_out is not None and cloud.tracer is not None:
+        path = cloud.write_trace(args.trace_out)
+        print(f"trace written to {path}", file=sys.stderr)
+
+sys.exit(status)

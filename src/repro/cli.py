@@ -45,6 +45,10 @@ def _add_cloud_arguments(parser: argparse.ArgumentParser) -> None:
                         help="record a causal trace and write it to PATH "
                              "(.jsonl = span records, anything else = "
                              "Chrome trace-viewer JSON)")
+    parser.add_argument("--self-healing", action="store_true",
+                        help="start the pimaster's heartbeat failure "
+                             "detector: dead nodes are detected, their "
+                             "containers evacuated, repaired nodes rejoin")
 
 
 def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
@@ -56,6 +60,7 @@ def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
         max_sim_time_s=args.max_sim_time,
         max_wall_s=args.wall_timeout,
         tracing=args.trace_out is not None,
+        self_healing=args.self_healing,
     )
     cloud = PiCloud(config)
     # Remembered so main() can export the trace even when the command

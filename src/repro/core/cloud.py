@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro import trace
 from repro.core.config import PiCloudConfig
-from repro.errors import PiCloudError
+from repro.errors import LeaseError, PiCloudError
 from repro.hardware.machine import Machine
 from repro.hostos.kernelhost import HostKernel
 from repro.hostos.netstack import IpFabric
@@ -137,6 +138,10 @@ class PiCloud:
         self.pimaster: Optional[PiMaster] = None
         self.power_meter = CloudPowerMeter(self.machines.values())
         self._booted = False
+        # Trace context of the latest outstanding fault per target (node
+        # id, or "a|b" for links): the failure detector parents its
+        # health transitions here so detection descends from its cause.
+        self._fault_contexts: Dict[str, object] = {}
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -184,7 +189,16 @@ class PiCloud:
             op_deadline_s=self.config.op_deadline_s,
             op_attempts=self.config.op_attempts,
             op_backoff_s=self.config.op_backoff_s,
+            heartbeat_interval_s=self.config.heartbeat_interval_s,
+            heartbeat_timeout_s=self.config.heartbeat_timeout_s,
+            suspect_after_misses=self.config.suspect_after_misses,
+            dead_after_misses=self.config.dead_after_misses,
+            evacuation_queue_limit=self.config.evacuation_queue_limit,
+            evacuation_retry_budget=self.config.evacuation_retry_budget,
+            breaker_failure_threshold=self.config.breaker_failure_threshold,
+            breaker_reset_s=self.config.breaker_reset_s,
         )
+        self.pimaster.health.fault_context_provider = self.fault_context
         pool = self.pimaster.dhcp.pool
         pimaster_ip = pool.allocate()
         self.kernels[PIMASTER_NODE].netstack.bind_address(pimaster_ip)
@@ -203,6 +217,8 @@ class PiCloud:
 
         if self.config.start_monitoring:
             self.pimaster.monitoring.start()
+        if self.config.self_healing:
+            self.pimaster.health.start()
         self._booted = True
 
     def _require_booted(self) -> None:
@@ -267,12 +283,73 @@ class PiCloud:
         daemon = self.daemons.get(node_id)
         if daemon is not None:
             daemon.server.stop()
+        span = trace.instant(self.sim, "fault.node-fail", kind="fault",
+                             attributes={"target": node_id}, status="error")
+        self._fault_contexts[node_id] = span.context
+
+    def rejoin_node(self, node_id: str) -> Signal:
+        """Repair a failed Pi and re-enroll it; Signal -> NodeRecord.
+
+        Models the swap-the-SD-card operational loop: the machine is
+        repaired and rebooted, the old kernel's residue is torn down
+        (leaked container memory uncharged, fabric addresses unbound, SD
+        card wiped), and a *fresh* kernel + node daemon come up on a
+        fresh management lease.  The daemon then re-announces itself to
+        the pimaster (:meth:`PiMaster.rejoin_node`), which re-registers
+        it and marks it ALIVE once a health probe answers.
+        """
+        self._require_booted()
+        if node_id not in self.node_names:
+            raise PiCloudError(f"cannot rejoin unmanaged node {node_id!r}")
+        machine = self.machines[node_id]
+        machine.repair()
+        machine.boot_immediately()
+        old_kernel = self.kernels.get(node_id)
+        if old_kernel is not None:
+            for cgroup_name in old_kernel.cgroups():
+                old_kernel.remove_cgroup(cgroup_name)
+            old_kernel.netstack.reset()
+            old_kernel.filesystem.wipe()
+        kernel = HostKernel(self.sim, machine, self.ip_fabric)
+        self.kernels[node_id] = kernel
+        try:
+            self.pimaster.dhcp.release(node_id)
+        except LeaseError:
+            pass
+        lease = self.pimaster.dhcp.request_lease(
+            client_id=node_id, hostname=node_id, ttl_s=float("inf")
+        )
+        kernel.netstack.bind_address(lease.ip)
+        daemon = NodeDaemon(kernel, op_deadline_s=self.config.op_deadline_s)
+        self.daemons[node_id] = daemon
+        span = trace.instant(
+            self.sim, "fault.node-repair", kind="fault",
+            parent=self._fault_contexts.pop(node_id, None),
+            attributes={"target": node_id}, status="ok",
+        )
+        return self.pimaster.rejoin_node(daemon, lease.ip, parent=span.context)
 
     def fail_link(self, a: str, b: str) -> None:
         self.network.fail_link(a, b)
+        span = trace.instant(self.sim, "fault.link-fail", kind="fault",
+                             attributes={"target": f"{a}|{b}"}, status="error")
+        self._fault_contexts[f"{a}|{b}"] = span.context
 
     def repair_link(self, a: str, b: str) -> None:
         self.network.repair_link(a, b)
+        trace.instant(self.sim, "fault.link-repair", kind="fault",
+                      parent=self._fault_contexts.pop(f"{a}|{b}", None),
+                      attributes={"target": f"{a}|{b}"}, status="ok")
+
+    def fault_context(self, target: str):
+        """Trace context of the latest outstanding fault on ``target``.
+
+        ``target`` is a node id or an ``"a|b"`` link key.  Installed as
+        the failure detector's ``fault_context_provider`` so detection
+        instants descend from the fault that caused them.  None when no
+        fault is outstanding (or tracing is off).
+        """
+        return self._fault_contexts.get(target)
 
     # -- tracing ----------------------------------------------------------------------
 

@@ -77,6 +77,24 @@ class PiCloudConfig:
     op_attempts: int = 3
     op_backoff_s: float = 1.0
 
+    # -- self-healing ------------------------------------------------------
+    # When self_healing is on, the pimaster's heartbeat failure detector
+    # starts at boot: nodes missing suspect_after_misses consecutive
+    # heartbeats become SUSPECT, dead_after_misses DEAD; a dead node's
+    # containers are evacuated (respawned elsewhere via the placement
+    # policy, bounded queue + per-container retry budget).  Per-node
+    # circuit breakers open after breaker_failure_threshold consecutive
+    # transport failures and half-open after breaker_reset_s.
+    self_healing: bool = False
+    heartbeat_interval_s: float = 2.0
+    heartbeat_timeout_s: float = 1.0
+    suspect_after_misses: int = 2
+    dead_after_misses: int = 4
+    evacuation_queue_limit: int = 64
+    evacuation_retry_budget: int = 2
+    breaker_failure_threshold: int = 5
+    breaker_reset_s: float = 60.0
+
     # -- tracing ----------------------------------------------------------
     # When on, a repro.trace.Tracer is installed on the simulator at build
     # time and every layer's spans (rest/mgmt/virt/net) are recorded.
@@ -105,6 +123,43 @@ class PiCloudConfig:
             raise PiCloudError(f"op_attempts must be >= 1, got {self.op_attempts}")
         if self.op_backoff_s < 0:
             raise PiCloudError(f"op_backoff_s must be >= 0, got {self.op_backoff_s}")
+        if self.heartbeat_interval_s <= 0:
+            raise PiCloudError(
+                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
+            )
+        if self.heartbeat_timeout_s <= 0:
+            raise PiCloudError(
+                f"heartbeat_timeout_s must be > 0, got {self.heartbeat_timeout_s}"
+            )
+        if self.suspect_after_misses < 1:
+            raise PiCloudError(
+                "suspect_after_misses must be >= 1, "
+                f"got {self.suspect_after_misses}"
+            )
+        if self.dead_after_misses <= self.suspect_after_misses:
+            raise PiCloudError(
+                "dead_after_misses must exceed suspect_after_misses "
+                f"(got {self.dead_after_misses} <= {self.suspect_after_misses})"
+            )
+        if self.evacuation_queue_limit < 1:
+            raise PiCloudError(
+                "evacuation_queue_limit must be >= 1, "
+                f"got {self.evacuation_queue_limit}"
+            )
+        if self.evacuation_retry_budget < 0:
+            raise PiCloudError(
+                "evacuation_retry_budget must be >= 0, "
+                f"got {self.evacuation_retry_budget}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise PiCloudError(
+                "breaker_failure_threshold must be >= 1, "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_reset_s <= 0:
+            raise PiCloudError(
+                f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
+            )
         if self.topology not in TOPOLOGY_KINDS:
             raise PiCloudError(
                 f"unknown topology {self.topology!r}; use one of {TOPOLOGY_KINDS}"

@@ -117,6 +117,18 @@ class RestError(ManagementError):
         self.extra = dict(extra) if extra else {}
 
 
+class CircuitOpenError(ManagementError):
+    """A management call was rejected fast because the target node's
+    circuit breaker is open (too many consecutive transport failures).
+
+    Carries ``node_id`` so callers can tell which breaker tripped.
+    """
+
+    def __init__(self, message: str, node_id: str = "") -> None:
+        super().__init__(message)
+        self.node_id = node_id
+
+
 class LeaseError(ManagementError):
     """DHCP pool exhausted or lease conflict."""
 

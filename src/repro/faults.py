@@ -11,7 +11,11 @@ layer.  This module drives those consequences:
   exponential time-between-failures and repair times, from a seeded
   stream, for availability experiments.
 
-Both record a full event log for post-hoc analysis.
+Both record a full event log for post-hoc analysis.  The fault trace
+instants (``fault.node-fail`` etc.) are emitted by the
+:class:`~repro.core.cloud.PiCloud` fault methods themselves, so direct
+calls and injected faults trace identically and the failure detector can
+parent its ``health.*`` transitions on the causing fault.
 """
 
 from __future__ import annotations
@@ -20,18 +24,11 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Literal, Optional, Tuple
 
-from repro import trace
 from repro.core.cloud import PiCloud
+from repro.errors import NetworkError
 from repro.sim.process import Timeout
 
 FaultKind = Literal["node-fail", "node-repair", "link-fail", "link-repair"]
-
-
-def _trace_fault(cloud: PiCloud, kind: FaultKind, target: str) -> None:
-    """Mark a fault on the causal trace as a zero-duration span."""
-    trace.instant(cloud.sim, f"fault.{kind}", kind="fault",
-                  attributes={"target": target},
-                  status="ok" if kind.endswith("repair") else "error")
 
 
 @dataclass(frozen=True)
@@ -49,6 +46,9 @@ class FaultSchedule:
 
     Build the script with :meth:`fail_node` / :meth:`cut_link` /
     :meth:`repair_link` / :meth:`repair_node`, then :meth:`arm`.
+    Targets are validated at arm time, so a typo'd node or link id fails
+    immediately with the valid ids listed -- not minutes into the run
+    when the fault fires.
     """
 
     cloud: PiCloud
@@ -72,10 +72,34 @@ class FaultSchedule:
         self._script.append((at, "link-repair", f"{a}|{b}"))
         return self
 
+    def _validate_targets(self) -> None:
+        for _, kind, target in self._script:
+            if kind in ("node-fail", "node-repair"):
+                if target not in self.cloud.machines:
+                    valid = ", ".join(sorted(self.cloud.machines))
+                    raise ValueError(
+                        f"fault schedule targets unknown node {target!r}; "
+                        f"valid nodes: {valid}"
+                    )
+            else:
+                a, b = target.split("|")
+                try:
+                    self.cloud.network.link(a, b)
+                except NetworkError:
+                    valid = ", ".join(
+                        "|".join(link.endpoints)
+                        for link in self.cloud.network.links()
+                    )
+                    raise ValueError(
+                        f"fault schedule targets unknown link {target!r}; "
+                        f"valid links: {valid}"
+                    ) from None
+
     def arm(self) -> None:
-        """Schedule every scripted fault.  Idempotent-guarded."""
+        """Validate targets and schedule every scripted fault."""
         if self._armed:
             raise RuntimeError("fault schedule already armed")
+        self._validate_targets()
         self._armed = True
         for at, kind, target in sorted(self._script):
             self.cloud.sim.schedule_at(at, self._fire, kind, target)
@@ -84,9 +108,7 @@ class FaultSchedule:
         if kind == "node-fail":
             self.cloud.fail_node(target)
         elif kind == "node-repair":
-            machine = self.cloud.machines[target]
-            machine.repair()
-            machine.boot_immediately()
+            self.cloud.rejoin_node(target)
         elif kind == "link-fail":
             a, b = target.split("|")
             self.cloud.fail_link(a, b)
@@ -94,7 +116,6 @@ class FaultSchedule:
             a, b = target.split("|")
             self.cloud.repair_link(a, b)
         self.log.append(FaultEvent(self.cloud.sim.now, kind, target))
-        _trace_fault(self.cloud, kind, target)
 
 
 class MtbfFaultInjector:
@@ -102,11 +123,11 @@ class MtbfFaultInjector:
 
     Targets are sampled uniformly from the cloud's Pis (``node_mtbf_s``)
     and fabric links (``link_mtbf_s``); each failure schedules its own
-    repair after an exponential MTTR.  Node repairs reboot the machine;
-    the management plane's daemons are *not* resurrected (a re-imaged
-    node needs re-registration), matching operational reality -- so use
-    link faults for long availability runs and node faults for
-    crash-impact studies.
+    repair after an exponential MTTR.  Node repairs go through
+    :meth:`PiCloud.rejoin_node`: the machine reboots on a re-imaged SD
+    card, a fresh daemon comes up, and the pimaster re-enrolls it -- so
+    long availability runs keep their full fleet and the pimaster's
+    self-healing plane (when on) sees nodes leave *and* return.
     """
 
     def __init__(
@@ -134,6 +155,9 @@ class MtbfFaultInjector:
         self.log: List[FaultEvent] = []
         self._stopped = False
         self._processes = []
+        # Scheduled-but-unfired repair events, so stop() can cancel them:
+        # a stopped injector must not keep mutating the cloud or the log.
+        self._pending_repairs: List = []
         if node_mtbf_s is not None:
             self._processes.append(
                 cloud.sim.process(self._node_loop(), name="faults.nodes")
@@ -144,14 +168,21 @@ class MtbfFaultInjector:
             )
 
     def stop(self) -> None:
+        """Stop injecting and cancel every still-pending repair."""
         self._stopped = True
         for process in self._processes:
             process.interrupt("fault injector stopped")
+        for event in self._pending_repairs:
+            event.cancel()
+        self._pending_repairs.clear()
 
     def _deadline(self) -> Optional[float]:
         if self.duration_s is None:
             return None
         return self.cloud.sim.now + self.duration_s
+
+    def _schedule_repair(self, delay: float, fn, *args) -> None:
+        self._pending_repairs.append(self.cloud.sim.schedule(delay, fn, *args))
 
     def _node_loop(self):
         deadline = self._deadline()
@@ -168,19 +199,18 @@ class MtbfFaultInjector:
             victim = self.rng.choice(candidates)
             self.cloud.fail_node(victim)
             self.log.append(FaultEvent(sim.now, "node-fail", victim))
-            _trace_fault(self.cloud, "node-fail", victim)
-            sim.schedule(
+            self._schedule_repair(
                 self.rng.expovariate(1.0 / self.mttr_s), self._repair_node, victim
             )
 
     def _repair_node(self, node_id: str) -> None:
+        if self._stopped:
+            return
         machine = self.cloud.machines[node_id]
         if machine.state.value != "failed":
             return
-        machine.repair()
-        machine.boot_immediately()
+        self.cloud.rejoin_node(node_id)
         self.log.append(FaultEvent(self.cloud.sim.now, "node-repair", node_id))
-        _trace_fault(self.cloud, "node-repair", node_id)
 
     def _link_loop(self):
         deadline = self._deadline()
@@ -196,22 +226,28 @@ class MtbfFaultInjector:
             a, b = self.rng.choice(up)
             self.cloud.fail_link(a, b)
             self.log.append(FaultEvent(sim.now, "link-fail", f"{a}|{b}"))
-            _trace_fault(self.cloud, "link-fail", f"{a}|{b}")
-            sim.schedule(
+            self._schedule_repair(
                 self.rng.expovariate(1.0 / self.mttr_s), self._repair_link, a, b
             )
 
     def _repair_link(self, a: str, b: str) -> None:
+        if self._stopped:
+            return
         if self.cloud.network.link(a, b).up:
             return
         self.cloud.repair_link(a, b)
         self.log.append(FaultEvent(self.cloud.sim.now, "link-repair", f"{a}|{b}"))
-        _trace_fault(self.cloud, "link-repair", f"{a}|{b}")
 
     # -- analysis ---------------------------------------------------------------
 
     def availability(self, node_id: str, start: float, end: float) -> float:
-        """Fraction of [start, end] the node spent up (from the log)."""
+        """Fraction of [start, end] the node spent up (from the log).
+
+        Down-intervals are clamped to the window on both sides: a node
+        that failed before ``start`` and is still down counts as down
+        *from* ``start``, and intervals entirely outside the window
+        contribute nothing (they can never go negative).
+        """
         if end <= start:
             raise ValueError("empty window")
         down_since: Optional[float] = None
@@ -220,10 +256,21 @@ class MtbfFaultInjector:
             if event.target != node_id:
                 continue
             if event.kind == "node-fail" and down_since is None:
-                down_since = max(event.time, start)
+                down_since = event.time
             elif event.kind == "node-repair" and down_since is not None:
-                downtime += min(event.time, end) - down_since
+                downtime += max(0.0, min(event.time, end) - max(down_since, start))
                 down_since = None
         if down_since is not None:
-            downtime += end - down_since
+            downtime += max(0.0, end - max(down_since, start))
         return 1.0 - downtime / (end - start)
+
+    def fleet_availability(self, start: float, end: float) -> float:
+        """Mean per-node availability across every managed Pi.
+
+        Nodes that never failed contribute 1.0 -- the fleet number is an
+        average over the whole deployment, not just the victims.
+        """
+        nodes = self.cloud.node_names
+        if not nodes:
+            raise ValueError("cloud has no managed nodes")
+        return sum(self.availability(n, start, end) for n in nodes) / len(nodes)

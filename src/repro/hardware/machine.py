@@ -131,6 +131,9 @@ class Machine:
         self.state = PowerState.FAILED
         self.failure_count += 1
         self.power.on_power_off()
+        # A dead board draws no cycles; without this the utilisation
+        # telemetry (and placement's cpu_load view) shows a ghost load.
+        self.cpu.set_utilization(0.0)
 
     def repair(self) -> None:
         """Return a failed machine to OFF so it can be booted again."""

@@ -110,6 +110,19 @@ class FileSystem:
         """Total bytes of all files (== device reservation held by this FS)."""
         return sum(e.size for e in self._files.values())
 
+    def wipe(self) -> int:
+        """Delete every file, releasing its device reservation.
+
+        Models re-imaging the SD card after a node failure; returns the
+        number of bytes freed.
+        """
+        freed = 0
+        for entry in self._files.values():
+            self.device.release(entry.size)
+            freed += entry.size
+        self._files.clear()
+        return freed
+
     # -- timed I/O --------------------------------------------------------------
 
     def write(self, path: str, size: int, metadata: Optional[dict] = None) -> Signal:

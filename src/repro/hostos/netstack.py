@@ -116,6 +116,18 @@ class NetStack:
             self.addresses.remove(ip)
             self.fabric.unregister(ip)
 
+    def reset(self) -> None:
+        """Tear the stack down: unbind every address, drop ports and caps.
+
+        Used when a failed node is re-imaged -- its old stack must stop
+        claiming fabric addresses so the replacement kernel can bind
+        fresh ones without collisions.
+        """
+        for ip in list(self.addresses):
+            self.unbind_address(ip)
+        self._listeners.clear()
+        self._rate_caps.clear()
+
     @property
     def primary_ip(self) -> str:
         if not self.addresses:

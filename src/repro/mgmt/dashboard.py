@@ -43,6 +43,7 @@ class Dashboard:
                     "node": node_id,
                     "rack": machine.rack or "-",
                     "state": machine.state.value,
+                    "health": pimaster.health.state(node_id).value,
                     "cpu": machine.cpu.utilization.value,
                     "mem_used": machine.memory.used,
                     "mem_capacity": machine.memory.capacity,
@@ -70,12 +71,14 @@ class Dashboard:
             "-----------",
         ]
         node_table = format_table(
-            ["node", "rack", "state", "cpu load", "memory", "VMs", "watts"],
+            ["node", "rack", "state", "health", "cpu load", "memory", "VMs",
+             "watts"],
             [
                 [
                     row["node"],
                     row["rack"],
                     row["state"],
+                    row["health"],
                     load_bar(row["cpu"]),
                     f"{fmt_bytes(row['mem_used'])}/{fmt_bytes(row['mem_capacity'])}",
                     row["containers"],

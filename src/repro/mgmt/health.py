@@ -1,0 +1,323 @@
+"""Failure detection and circuit breaking for the management plane.
+
+The paper motivates the testbed with the unpredictability of real DC
+behaviour (§I cites Gill et al.'s failure study); a control plane that is
+worth studying must therefore *notice* failures, not just suffer them.
+This module provides the two mechanisms the pimaster uses to do so:
+
+* :class:`FailureDetector` -- heartbeat probes (`GET /health` over the
+  real fabric) driving a per-node lifecycle state machine::
+
+      alive -> suspect -> dead -> rejoining -> alive
+
+  Transitions use a consecutive-miss accrual rule (``suspect_misses``
+  unanswered heartbeats to suspect, ``dead_misses`` to declare death) and
+  are emitted as ``health.node-*`` trace instants parented on the fault
+  that caused them, so the chain *fault -> detection -> recovery* is
+  assertable from an exported trace.
+
+* :class:`CircuitBreaker` -- a per-node breaker over management
+  transport.  After ``failure_threshold`` consecutive transport failures
+  the breaker opens and orchestration calls fail fast instead of
+  hammering a dead daemon; after ``reset_timeout_s`` one half-open probe
+  is let through, and a success closes the breaker again.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from repro import trace
+from repro.mgmt.rest import RestClient
+from repro.sim.kernel import Simulator
+from repro.sim.process import AllOf, Timeout
+from repro.trace.span import SpanContext
+
+DEFAULT_HEARTBEAT_INTERVAL_S = 2.0
+DEFAULT_SUSPECT_MISSES = 2
+DEFAULT_DEAD_MISSES = 4
+
+
+class NodeHealth(enum.Enum):
+    """Lifecycle state of one managed node, as seen by the pimaster."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    REJOINING = "rejoining"
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Transport circuit breaker for one node's management endpoint.
+
+    ``allow()`` gates each attempt: CLOSED always allows; OPEN allows
+    nothing until ``reset_timeout_s`` has elapsed, at which point the
+    breaker moves to HALF_OPEN and admits exactly one probe; the probe's
+    ``record_success`` / ``record_failure`` closes or re-opens it.
+    """
+
+    def __init__(self, sim: Simulator, failure_threshold: int = 5,
+                 reset_timeout_s: float = 60.0, node_id: str = "") -> None:
+        if failure_threshold < 1:
+            raise ValueError("breaker failure_threshold must be >= 1")
+        if reset_timeout_s <= 0:
+            raise ValueError("breaker reset_timeout_s must be positive")
+        self.sim = sim
+        self.node_id = node_id
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.opened_count = 0
+        self.fast_fails = 0
+        self.probes = 0
+        self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May an attempt be sent now?  Counts fast-fails when not."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if (self.state is BreakerState.OPEN
+                and self.sim.now - self.opened_at >= self.reset_timeout_s):
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+        if self.state is BreakerState.HALF_OPEN:
+            if not self._probe_inflight:
+                self._probe_inflight = True
+                self.probes += 1
+                return True
+            # One probe already in flight; everything else fast-fails.
+        self.fast_fails += 1
+        return False
+
+    def half_open_now(self) -> None:
+        """Force the half-open probe window (out-of-band repair evidence).
+
+        Used by the rejoin path: a node that just re-announced itself is
+        better evidence than the reset timer, so the next attempt becomes
+        the probe regardless of how long the breaker has been open.
+        """
+        if self.state is BreakerState.OPEN:
+            self.state = BreakerState.HALF_OPEN
+            self._probe_inflight = False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probe_inflight = False
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        self._probe_inflight = False
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state is not BreakerState.OPEN:
+                self.opened_count += 1
+            self.state = BreakerState.OPEN
+            self.opened_at = self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CircuitBreaker {self.node_id} {self.state.value} "
+                f"fails={self.consecutive_failures}>")
+
+
+# listener(node_id, old_state, new_state, transition_context)
+TransitionListener = Callable[[str, NodeHealth, NodeHealth,
+                               Optional[SpanContext]], None]
+
+
+class FailureDetector:
+    """Heartbeat-based failure detection for every registered node.
+
+    Each interval, every watched node that is not already DEAD is probed
+    in parallel with ``GET /health`` (a dedicated short-timeout client,
+    so a dead node cannot stall the detection of others).  Consecutive
+    misses drive the state machine; probe outcomes also feed the node's
+    :class:`CircuitBreaker` when ``breaker_for`` is wired.
+
+    ``fault_context_provider(node_id)`` (installed by the cloud) returns
+    the trace context of the most recent fault instant against a node, so
+    ``health.node-suspect`` / ``health.node-dead`` instants descend from
+    the fault that caused them.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: RestClient,
+        interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        suspect_misses: int = DEFAULT_SUSPECT_MISSES,
+        dead_misses: int = DEFAULT_DEAD_MISSES,
+        daemon_port: int = 8600,
+        fault_context_provider: Optional[
+            Callable[[str], Optional[SpanContext]]] = None,
+        breaker_for: Optional[Callable[[str], Optional[CircuitBreaker]]] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if suspect_misses < 1 or dead_misses <= suspect_misses:
+            raise ValueError(
+                "need 1 <= suspect_misses < dead_misses "
+                f"(got {suspect_misses}, {dead_misses})"
+            )
+        self.sim = sim
+        self.client = client
+        self.interval_s = interval_s
+        self.suspect_misses = suspect_misses
+        self.dead_misses = dead_misses
+        self.daemon_port = daemon_port
+        self.fault_context_provider = fault_context_provider
+        self.breaker_for = breaker_for
+        self._targets: Dict[str, str] = {}          # node_id -> management IP
+        self._states: Dict[str, NodeHealth] = {}
+        self._misses: Dict[str, int] = {}
+        # Trace context of each node's latest transition instant, so the
+        # next transition chains onto it (suspect -> dead -> ...).
+        self._last_ctx: Dict[str, Optional[SpanContext]] = {}
+        self._listeners: List[TransitionListener] = []
+        self.heartbeats_sent = 0
+        self.heartbeats_missed = 0
+        self.transitions: Dict[str, int] = {}       # "alive->suspect" -> count
+        self._stopped = False
+        self._process = None
+
+    # -- membership -------------------------------------------------------
+
+    def watch(self, node_id: str, ip: str) -> None:
+        self._targets[node_id] = ip
+        self._states.setdefault(node_id, NodeHealth.ALIVE)
+        self._misses.setdefault(node_id, 0)
+
+    def unwatch(self, node_id: str) -> None:
+        self._targets.pop(node_id, None)
+
+    def rewatch(self, node_id: str, ip: str) -> None:
+        """Refresh a node's probe address (rejoin gives a fresh lease)."""
+        self._targets[node_id] = ip
+        self._misses[node_id] = 0
+
+    def state(self, node_id: str) -> NodeHealth:
+        return self._states.get(node_id, NodeHealth.ALIVE)
+
+    def states(self) -> Dict[str, NodeHealth]:
+        return dict(self._states)
+
+    def nodes_in(self, state: NodeHealth) -> List[str]:
+        return sorted(n for n, s in self._states.items() if s is state)
+
+    def transition_context(self, node_id: str) -> Optional[SpanContext]:
+        """Trace context of the node's most recent health transition."""
+        return self._last_ctx.get(node_id)
+
+    def add_listener(self, listener: TransitionListener) -> None:
+        self._listeners.append(listener)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._process is None:
+            self._process = self.sim.process(self._probe_loop(),
+                                             name="health.detector")
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._process is not None:
+            self._process.interrupt("failure detector stopped")
+
+    # -- probing ----------------------------------------------------------
+
+    def _probe_loop(self):
+        while not self._stopped:
+            probes = [
+                self.sim.process(self._probe(node_id, ip),
+                                 name=f"health.probe:{node_id}")
+                for node_id, ip in sorted(self._targets.items())
+                if self._states.get(node_id) is not NodeHealth.DEAD
+            ]
+            if probes:
+                yield AllOf(self.sim, probes)
+            yield Timeout(self.sim, self.interval_s)
+
+    def _probe(self, node_id: str, ip: str):
+        self.heartbeats_sent += 1
+        ok = False
+        try:
+            response = yield self.client.get(ip, self.daemon_port, "/health")
+            ok = response.ok
+        except Exception:  # noqa: BLE001 - any transport failure is a miss
+            ok = False
+        if self._stopped or node_id not in self._targets:
+            return
+        breaker = self.breaker_for(node_id) if self.breaker_for else None
+        if ok:
+            if breaker is not None:
+                breaker.record_success()
+            self._heartbeat_ok(node_id)
+        else:
+            self.heartbeats_missed += 1
+            if breaker is not None:
+                breaker.record_failure()
+            self._heartbeat_miss(node_id)
+
+    def _heartbeat_ok(self, node_id: str) -> None:
+        self._misses[node_id] = 0
+        state = self._states.get(node_id)
+        if state in (NodeHealth.SUSPECT, NodeHealth.REJOINING):
+            self._transition(node_id, NodeHealth.ALIVE)
+
+    def _heartbeat_miss(self, node_id: str) -> None:
+        misses = self._misses.get(node_id, 0) + 1
+        self._misses[node_id] = misses
+        state = self._states.get(node_id, NodeHealth.ALIVE)
+        if state in (NodeHealth.ALIVE, NodeHealth.REJOINING):
+            if misses >= self.suspect_misses:
+                self._transition(node_id, NodeHealth.SUSPECT)
+                if misses >= self.dead_misses:
+                    self._transition(node_id, NodeHealth.DEAD)
+        elif state is NodeHealth.SUSPECT and misses >= self.dead_misses:
+            self._transition(node_id, NodeHealth.DEAD)
+
+    # -- the state machine ------------------------------------------------
+
+    def mark(self, node_id: str, new: NodeHealth, parent=None) -> None:
+        """Externally drive a transition (the rejoin path uses this)."""
+        self._misses[node_id] = 0
+        self._transition(node_id, new, parent=parent)
+
+    def _transition(self, node_id: str, new: NodeHealth, parent=None) -> None:
+        old = self._states.get(node_id, NodeHealth.ALIVE)
+        if old is new:
+            return
+        self._states[node_id] = new
+        key = f"{old.value}->{new.value}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        ctx = parent
+        if ctx is None:
+            # Entering suspicion chains onto the causing fault (when the
+            # cloud knows one); deeper transitions chain onto the previous
+            # transition so the whole episode shares one trace.
+            if new is NodeHealth.SUSPECT and self.fault_context_provider:
+                ctx = self.fault_context_provider(node_id)
+            if ctx is None:
+                ctx = self._last_ctx.get(node_id)
+        span = trace.instant(
+            self.sim, f"health.node-{new.value}", parent=ctx, kind="health",
+            attributes={"node": node_id, "from": old.value},
+            status="error" if new is NodeHealth.DEAD else "ok",
+        )
+        context = span.context
+        self._last_ctx[node_id] = context
+        for listener in list(self._listeners):
+            listener(node_id, old, new, context)

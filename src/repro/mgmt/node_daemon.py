@@ -25,12 +25,13 @@ DELETE /containers/{name}              stop if needed + destroy
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import inspect
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import DeadlineExceeded, PiCloudError, RestError
 from repro.hostos.kernelhost import HostKernel
 from repro.mgmt.rest import RestRequest, RestServer
-from repro.sim.process import AnyOf, Timeout
+from repro.sim.process import AnyOf, Signal, Timeout
 from repro.virt.container import ContainerState
 from repro.virt.image import ContainerImage
 from repro.virt.lxc import LxcRuntime
@@ -63,8 +64,55 @@ class NodeDaemon:
         self.op_deadline_s = op_deadline_s
         self.deadline_trips = 0
         self._images: Dict[str, ContainerImage] = {}
+        # Idempotency for mutating routes: a completed result per key, plus
+        # an in-flight Signal so a retry that overlaps the original attempt
+        # waits for it instead of re-running the work.  Results are kept
+        # for the daemon's lifetime (keys are unique per pimaster call, so
+        # the map grows with real operations, not retries).
+        self._idem_results: Dict[str, Tuple[int, object]] = {}
+        self._idem_inflight: Dict[str, Signal] = {}
+        self.idempotent_replays = 0
         self.server = RestServer(kernel, port, name=f"daemon:{kernel.node_id}")
         self._register_routes()
+
+    def _idempotent(self, key: Optional[str], work: Callable):
+        """Run ``work()`` at most once per idempotency key.
+
+        A generator helper.  ``work`` returns either a plain
+        ``(status, body)`` or a generator producing one.  With no key the
+        work simply runs; with a key, a finished result is replayed
+        verbatim, and a retry racing the original attempt waits on its
+        in-flight signal.  Failures are NOT cached -- a later retry after
+        an error re-runs the work.
+        """
+        if key is None:
+            result = work()
+            if inspect.isgenerator(result):
+                result = yield from result
+            return result
+        cached = self._idem_results.get(key)
+        if cached is not None:
+            self.idempotent_replays += 1
+            return cached
+        pending = self._idem_inflight.get(key)
+        if pending is not None:
+            self.idempotent_replays += 1
+            result = yield pending
+            return result
+        signal = Signal(self.sim, name=f"idem:{key}")
+        self._idem_inflight[key] = signal
+        try:
+            result = work()
+            if inspect.isgenerator(result):
+                result = yield from result
+        except BaseException as exc:
+            self._idem_inflight.pop(key, None)
+            signal.fail(exc)
+            raise
+        self._idem_results[key] = result
+        self._idem_inflight.pop(key, None)
+        signal.succeed(result)
+        return result
 
     def _guarded(self, waitable, what: str, parent=None):
         """Wait on ``waitable`` with the daemon's operation deadline.
@@ -177,10 +225,17 @@ class NodeDaemon:
         for key in ("name", "image"):
             if key not in body:
                 raise RestError(400, f"missing field {key!r}")
+        ctx = request.server_trace or request.trace
+        result = yield from self._idempotent(
+            body.get("idempotency_key"),
+            lambda: self._create_container_work(body, ctx),
+        )
+        return result
+
+    def _create_container_work(self, body: dict, ctx):
         image = self._images.get(body["image"])
         if image is None:
             raise RestError(409, f"image {body['image']!r} not cached on {self.node_id}")
-        ctx = request.server_trace or request.trace
         create = self.runtime.lxc_create(
             body["name"],
             image,
@@ -341,6 +396,14 @@ class NodeDaemon:
         return 200, {"name": name, "old_ip": old_ip, "ip": new_ip}
 
     def _destroy(self, request: RestRequest, name: str):
+        body = request.body or {}
+        result = yield from self._idempotent(
+            body.get("idempotency_key"),
+            lambda: self._destroy_work(name),
+        )
+        return result
+
+    def _destroy_work(self, name: str):
         container = self._container_or_404(name)
         if container.state in (ContainerState.RUNNING, ContainerState.FROZEN):
             self.runtime.lxc_stop(container)

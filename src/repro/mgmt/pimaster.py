@@ -12,14 +12,24 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro import trace
-from repro.errors import DeadlineExceeded, ManagementError, PlacementError, RestError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    LeaseError,
+    ManagementError,
+    NameError_,
+    PlacementError,
+    RestError,
+)
 from repro.hostos.kernelhost import HostKernel
 from repro.mgmt.dashboard import Dashboard
 from repro.mgmt.dhcp import DhcpServer
 from repro.mgmt.dns import DnsServer
+from repro.mgmt.health import CircuitBreaker, FailureDetector, NodeHealth
 from repro.mgmt.images import ImageService
 from repro.mgmt.monitoring import MonitoringService
 from repro.mgmt.node_daemon import NODE_DAEMON_PORT, NodeDaemon
+from repro.mgmt.recovery import RecoveryManager
 from repro.mgmt.rest import RestClient
 from repro.netsim.addresses import Ipv4Pool
 from repro.placement.base import NodeView, PlacementPolicy, PlacementRequest
@@ -62,6 +72,14 @@ class PiMaster:
         op_deadline_s: float = 1800.0,
         op_attempts: int = 3,
         op_backoff_s: float = 1.0,
+        heartbeat_interval_s: float = 2.0,
+        heartbeat_timeout_s: float = 1.0,
+        suspect_after_misses: int = 2,
+        dead_after_misses: int = 4,
+        evacuation_queue_limit: int = 64,
+        evacuation_retry_budget: int = 2,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_s: float = 60.0,
     ) -> None:
         self.kernel = kernel
         self.sim = kernel.sim
@@ -86,8 +104,33 @@ class PiMaster:
         self._nodes: Dict[str, NodeRecord] = {}
         self._containers: Dict[str, ContainerRecord] = {}
         self._spawn_seq = 0
+        self._destroy_seq = 0
         self.spawns = 0
         self.spawn_failures = 0
+        self.rejoins = 0
+        self.breaker_fast_fails = 0
+        # Self-healing plane: per-node circuit breakers, the heartbeat
+        # failure detector (its own short-timeout client so dead nodes
+        # cannot stall probing), and the evacuation/recovery worker.
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self.health = FailureDetector(
+            self.sim,
+            RestClient(kernel.netstack, timeout_s=heartbeat_timeout_s),
+            interval_s=heartbeat_interval_s,
+            suspect_misses=suspect_after_misses,
+            dead_misses=dead_after_misses,
+            daemon_port=NODE_DAEMON_PORT,
+            breaker_for=self._breakers.get,
+        )
+        self.recovery = RecoveryManager(
+            self,
+            queue_limit=evacuation_queue_limit,
+            retry_budget=evacuation_retry_budget,
+        )
+        self.health.add_listener(self._on_health_transition)
+        self.health.add_listener(self.recovery.on_transition)
 
     # -- registry ---------------------------------------------------------------
 
@@ -101,7 +144,118 @@ class PiMaster:
         daemon.peer_resolver = self.daemon
         self.monitoring.watch(node_id, ip)
         self.dns.register(node_id, ip)
+        self._breakers[node_id] = CircuitBreaker(
+            self.sim,
+            failure_threshold=self.breaker_failure_threshold,
+            reset_timeout_s=self.breaker_reset_s,
+            node_id=node_id,
+        )
+        self.health.watch(node_id, ip)
         return record
+
+    def breaker(self, node_id: str) -> CircuitBreaker:
+        try:
+            return self._breakers[node_id]
+        except KeyError:
+            raise KeyError(f"unknown node {node_id!r}") from None
+
+    def _on_health_transition(self, node_id: str, old: NodeHealth,
+                              new: NodeHealth, context) -> None:
+        """Registry housekeeping on health transitions.
+
+        A dead node stops being polled (its monitoring probes would only
+        burn the detector's work) and its image cache is forgotten -- the
+        repair path re-images the SD card, so anything cached is gone.
+        """
+        if new is NodeHealth.DEAD:
+            self.monitoring.unwatch(node_id)
+            self.images.invalidate_node(node_id)
+
+    def rejoin_node(self, daemon: NodeDaemon, ip: str, parent=None) -> Signal:
+        """Re-enroll a repaired node; Signal -> NodeRecord.
+
+        The node daemon re-announces itself after repair; the pimaster
+        marks it REJOINING, lets one half-open probe through its breaker,
+        and on a successful ``GET /health`` refreshes the registry row
+        (new daemon object, fresh management IP), DNS, monitoring and the
+        failure detector -- then marks it ALIVE again.  Closes the known
+        resurrection gap in :class:`~repro.faults.MtbfFaultInjector`.
+        """
+        node_id = daemon.node_id
+        done = Signal(self.sim, name=f"rejoin:{node_id}")
+        span = trace.start_span(
+            self.sim, "mgmt.rejoin", parent=parent, kind="mgmt",
+            attributes={"node": node_id, "ip": ip},
+        )
+        self.health.mark(node_id, NodeHealth.REJOINING, parent=span.context)
+        # The repair path re-images the SD card, so anything the image
+        # service believes is cached there is gone -- even when the node
+        # was never declared DEAD (manual rejoin, detector off).
+        self.images.invalidate_node(node_id)
+        breaker = self._breakers.get(node_id)
+        if breaker is not None:
+            breaker.half_open_now()
+
+        def run():
+            try:
+                response = yield from self._call_with_retry(
+                    lambda attempt: self.client.get(
+                        ip, NODE_DAEMON_PORT, "/health", parent=attempt,
+                    ),
+                    f"rejoin probe of {node_id}",
+                    parent=span,
+                    node_id=node_id,
+                )
+                response.raise_for_status()
+            except Exception as exc:  # noqa: BLE001 - node still unreachable
+                span.end("error", str(exc))
+                done.fail(ManagementError(f"rejoin of {node_id!r} failed: {exc}"))
+                return
+            record = self._nodes.get(node_id)
+            if record is None:
+                record = NodeRecord(node_id=node_id, ip=ip, daemon=daemon)
+                self._nodes[node_id] = record
+            else:
+                record.ip = ip
+                record.daemon = daemon
+            try:
+                self.dns.update(node_id, ip)
+            except NameError_:
+                self.dns.register(node_id, ip)
+            daemon.peer_resolver = self.daemon
+            self.monitoring.watch(node_id, ip)
+            self.health.rewatch(node_id, ip)
+            self.health.mark(node_id, NodeHealth.ALIVE, parent=span.context)
+            self.rejoins += 1
+            span.end("ok")
+            done.succeed(record)
+
+        self.sim.process(run(), name=f"rejoin:{node_id}")
+        return done
+
+    def forget_container(self, name: str) -> None:
+        """Drop a container's registry state without contacting its node.
+
+        The evacuation path uses this for containers on a node declared
+        dead: the REST daemon is unreachable, but the name, DNS record,
+        lease and fabric address must be reusable by the respawn.  The
+        address is unbound from the dead node's stack *before* the lease
+        is released so a re-allocation cannot collide in the fabric.
+        """
+        record = self._containers.pop(name, None)
+        if record is None:
+            return
+        node = self._nodes.get(record.node_id)
+        if node is not None:
+            node.daemon.kernel.netstack.unbind_address(record.ip)
+        try:
+            self.dns.unregister(name)
+        except NameError_:
+            pass
+        try:
+            self.dhcp.release(name)
+        except LeaseError:
+            pass
 
     def node_ids(self) -> list[str]:
         return sorted(self._nodes)
@@ -168,7 +322,8 @@ class PiMaster:
 
     # -- orchestration ------------------------------------------------------------------
 
-    def _call_with_retry(self, send, what: str, parent=None):
+    def _call_with_retry(self, send, what: str, parent=None,
+                         node_id: Optional[str] = None):
         """Issue ``send(span)`` (a REST-call factory) with retry + backoff.
 
         A generator helper (``yield from``).  Transport-level failures --
@@ -180,15 +335,28 @@ class PiMaster:
         attempts are exhausted a typed :class:`DeadlineExceeded` is
         raised, naming the operation.
 
+        ``node_id`` routes attempt outcomes through that node's circuit
+        breaker: when the breaker is open the call is rejected immediately
+        with :class:`CircuitOpenError` instead of burning attempts against
+        a daemon known to be dead.  An application-level answer counts as
+        transport success (the node is reachable).
+
         ``send`` receives the attempt's span so the underlying REST call
         (and everything server-side) nests under it; each attempt is one
         child span of ``parent``, failed attempts ending in error status.
         """
+        breaker = self._breakers.get(node_id) if node_id is not None else None
         last_error: Optional[RestError] = None
         for attempt in range(self.op_attempts):
             if attempt:
                 self.op_retries += 1
                 yield Timeout(self.sim, self.op_backoff_s * (2 ** (attempt - 1)))
+            if breaker is not None and not breaker.allow():
+                self.breaker_fast_fails += 1
+                raise CircuitOpenError(
+                    f"{what}: circuit open for node {node_id}",
+                    node_id=node_id,
+                )
             attempt_span = trace.start_span(
                 self.sim, "mgmt.attempt", parent=parent, kind="mgmt",
                 attributes={"what": what, "attempt": attempt + 1},
@@ -198,9 +366,16 @@ class PiMaster:
             except RestError as exc:
                 attempt_span.end("error", str(exc))
                 if exc.status != 0:
+                    # The node answered; transport is healthy.
+                    if breaker is not None:
+                        breaker.record_success()
                     raise
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = exc
                 continue
+            if breaker is not None:
+                breaker.record_success()
             attempt_span.end("ok")
             return response
         self.op_deadline_failures += 1
@@ -224,19 +399,26 @@ class PiMaster:
         avoid_racks: tuple = (),
         group: Optional[str] = None,
         node_id: Optional[str] = None,
+        parent=None,
     ) -> Signal:
         """Place, provision and start a container; Signal -> ContainerRecord.
 
         ``node_id`` pins the placement; otherwise the active policy picks.
         The whole chain is real: image push (if cold), DHCP lease, REST
-        create/start on the node, DNS registration.
+        create/start on the node, DNS registration.  ``parent`` roots the
+        spawn's trace (the recovery plane parents respawns on the
+        evacuation span).
         """
         done = Signal(self.sim, name=f"spawn:{image}")
         container_image = self.images.get(image)
         self._spawn_seq += 1
         container_name = name or f"{container_image.name}-{self._spawn_seq}"
+        # One key per spawn *call*: retried attempts share it, so a node
+        # that already created the container answers from its idempotency
+        # cache instead of double-creating.
+        idempotency_key = f"spawn:{container_name}:{self._spawn_seq}"
         span = trace.start_span(
-            self.sim, "mgmt.spawn", kind="mgmt",
+            self.sim, "mgmt.spawn", parent=parent, kind="mgmt",
             attributes={"image": container_image.name, "container": container_name},
         )
         if container_name in self._containers:
@@ -286,11 +468,13 @@ class PiMaster:
                             "cpu_shares": cpu_shares,
                             "cpu_quota": cpu_quota,
                             "memory_limit_bytes": memory_limit_bytes,
+                            "idempotency_key": idempotency_key,
                         },
                         parent=attempt,
                     ),
                     f"container create/start of {container_name!r} on {target}",
                     parent=span,
+                    node_id=target,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001 - spawn failed downstream
@@ -320,6 +504,8 @@ class PiMaster:
         done = Signal(self.sim, name=f"destroy:{name}")
         record = self.container_record(name)
         node = self._nodes[record.node_id]
+        self._destroy_seq += 1
+        idempotency_key = f"destroy:{name}:{self._destroy_seq}"
         span = trace.start_span(self.sim, "mgmt.destroy", kind="mgmt",
                                 attributes={"container": name})
 
@@ -328,10 +514,12 @@ class PiMaster:
                 response = yield from self._call_with_retry(
                     lambda attempt: self.client.delete(
                         node.ip, NODE_DAEMON_PORT, f"/containers/{name}",
+                        body={"idempotency_key": idempotency_key},
                         parent=attempt,
                     ),
                     f"container destroy of {name!r}",
                     parent=span,
+                    node_id=record.node_id,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001
@@ -364,6 +552,7 @@ class PiMaster:
                     ),
                     f"set_limits on {name!r}",
                     parent=span,
+                    node_id=record.node_id,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001
@@ -407,6 +596,7 @@ class PiMaster:
                     ),
                     f"migration of {name!r} to {destination}",
                     parent=span,
+                    node_id=record.node_id,
                 )
                 response.raise_for_status()
             except Exception as exc:  # noqa: BLE001

@@ -268,5 +268,7 @@ class RestClient:
         return self.request("POST", dst_ip, dst_port, path, body, wire_size,
                             parent=parent)
 
-    def delete(self, dst_ip: str, dst_port: int, path: str, parent=None) -> Signal:
-        return self.request("DELETE", dst_ip, dst_port, path, parent=parent)
+    def delete(self, dst_ip: str, dst_port: int, path: str, body: Any = None,
+               parent=None) -> Signal:
+        return self.request("DELETE", dst_ip, dst_port, path, body,
+                            parent=parent)

@@ -13,11 +13,18 @@ cheap to parse in analysis notebooks.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, List
 
 from repro.trace.tracer import Tracer, iter_span_dicts
 
 _S_TO_US = 1e6
+
+
+def _ensure_parent_dir(path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 def _track_ids(tracer: Tracer) -> Dict[str, int]:
@@ -75,6 +82,7 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
 
 
 def write_chrome(tracer: Tracer, path: str) -> str:
+    _ensure_parent_dir(path)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(chrome_trace(tracer), handle, indent=None,
                   separators=(",", ":"), sort_keys=True)
@@ -82,6 +90,7 @@ def write_chrome(tracer: Tracer, path: str) -> str:
 
 
 def write_jsonl(tracer: Tracer, path: str) -> str:
+    _ensure_parent_dir(path)
     with open(path, "w", encoding="utf-8") as handle:
         for record in iter_span_dicts(tracer.spans):
             handle.write(json.dumps(record, sort_keys=True))

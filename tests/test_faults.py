@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core import PiCloud, PiCloudConfig
-from repro.faults import FaultSchedule, MtbfFaultInjector
+from repro.faults import FaultEvent, FaultSchedule, MtbfFaultInjector
 from repro.hardware import PowerState
 
 
@@ -75,6 +75,26 @@ class TestFaultSchedule:
         cloud.run_for(50.0)
         # sorted() on (time, kind, target) puts tor0|agg0 first.
         assert [e.target for e in schedule.log] == ["tor0|agg0", "tor1|agg1"]
+
+    def test_unknown_node_rejected_at_arm_listing_valid_ids(self, cloud):
+        schedule = FaultSchedule(cloud).fail_node(10.0, "pi-r9-n9")
+        with pytest.raises(ValueError) as excinfo:
+            schedule.arm()
+        message = str(excinfo.value)
+        assert "pi-r9-n9" in message
+        assert "pi-r0-n0" in message  # lists the valid ids
+        # Validation failed before anything was armed: nothing fires.
+        cloud.run_for(20.0)
+        assert schedule.log == []
+        assert cloud.machines["pi-r0-n0"].is_on
+
+    def test_unknown_link_rejected_at_arm_listing_valid_links(self, cloud):
+        schedule = FaultSchedule(cloud).cut_link(10.0, "tor0", "nowhere")
+        with pytest.raises(ValueError) as excinfo:
+            schedule.arm()
+        message = str(excinfo.value)
+        assert "tor0|nowhere" in message
+        assert "agg0|tor0" in message  # lists the valid links
 
     def test_double_arm_rejected(self, cloud):
         schedule = FaultSchedule(cloud).fail_node(10.0, "pi-r0-n0")
@@ -149,6 +169,47 @@ class TestMtbfInjector:
         with pytest.raises(ValueError):
             injector.availability("pi-r0-n0", 10.0, 10.0)
         injector.stop()
+
+    def test_stop_cancels_pending_repairs(self, cloud):
+        """A stopped injector must not keep resurrecting nodes."""
+        injector = MtbfFaultInjector(
+            cloud, rng=random.Random(5),
+            node_mtbf_s=20.0, mttr_s=10_000.0,
+        )
+        cloud.run_for(150.0)
+        fails = [e for e in injector.log if e.kind == "node-fail"]
+        assert fails, "seeded run should have produced failures"
+        injector.stop()
+        log_len = len(injector.log)
+        cloud.run_for(30_000.0)  # way past every scheduled repair
+        assert len(injector.log) == log_len
+        assert all(e.kind != "node-repair" for e in injector.log)
+        # The victims stay down: their repairs were cancelled with stop().
+        for event in fails:
+            assert cloud.machines[event.target].state is PowerState.FAILED
+
+    def test_availability_interval_before_window_contributes_nothing(self, cloud):
+        injector = MtbfFaultInjector(cloud, node_mtbf_s=1e12)
+        injector.log.append(FaultEvent(5.0, "node-fail", "pi-r0-n0"))
+        injector.log.append(FaultEvent(8.0, "node-repair", "pi-r0-n0"))
+        # Both edges precede the window: availability is exactly 1, not >1.
+        assert injector.availability("pi-r0-n0", 10.0, 20.0) == 1.0
+
+    def test_availability_counts_node_already_down_at_start(self, cloud):
+        injector = MtbfFaultInjector(cloud, node_mtbf_s=1e12)
+        injector.log.append(FaultEvent(5.0, "node-fail", "pi-r0-n0"))
+        assert injector.availability("pi-r0-n0", 10.0, 20.0) == 0.0
+        injector.log.append(FaultEvent(15.0, "node-repair", "pi-r0-n0"))
+        assert injector.availability("pi-r0-n0", 10.0, 20.0) == pytest.approx(0.5)
+
+    def test_fleet_availability_averages_over_all_nodes(self, cloud):
+        injector = MtbfFaultInjector(cloud, node_mtbf_s=1e12)
+        injector.log.append(FaultEvent(0.0, "node-fail", "pi-r0-n0"))
+        count = len(cloud.node_names)
+        assert count == 4
+        # One node down the whole window, the never-failed rest count 1.0.
+        expected = (count - 1) / count
+        assert injector.fleet_availability(0.0, 100.0) == pytest.approx(expected)
 
     def test_deterministic_with_seed(self):
         def run(seed):
