@@ -6,7 +6,7 @@ measures event-dispatch wall time three ways:
 
 * no tracer installed (the pre-tracing seed behaviour);
 * a tracer installed but with kernel event capture off (the state a
-  ``PiCloudConfig(tracing=True)`` cloud runs in);
+  ``TraceConfig(enabled=True)`` cloud runs in);
 * kernel event capture on (the explicitly-expensive debug mode).
 
 and asserts the first two are within noise of each other.  Interleaved

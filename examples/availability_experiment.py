@@ -20,7 +20,7 @@ import argparse
 import random
 import sys
 
-from repro import PiCloud, PiCloudConfig
+from repro import HealthConfig, PiCloud, PiCloudConfig, SimBudgetConfig, TraceConfig
 from repro.errors import SimBudgetExceeded
 from repro.faults import MtbfFaultInjector
 from repro.mgmt.health import NodeHealth
@@ -42,11 +42,14 @@ args = parser.parse_args()
 config = PiCloudConfig.small(
     racks=2, pis=3, start_monitoring=False, routing="shortest",
     seed=args.seed,
-    self_healing=True,
-    heartbeat_interval_s=2.0, heartbeat_timeout_s=1.0,
-    suspect_after_misses=2, dead_after_misses=3,
-    tracing=args.trace_out is not None,
-    max_events=args.max_events, max_wall_s=args.wall_timeout,
+    health=HealthConfig(
+        enabled=True,
+        heartbeat_interval_s=2.0, heartbeat_timeout_s=1.0,
+        suspect_after_misses=2, dead_after_misses=3,
+    ),
+    trace=TraceConfig(enabled=args.trace_out is not None),
+    budget=SimBudgetConfig(max_events=args.max_events,
+                           max_wall_s=args.wall_timeout),
 )
 cloud = PiCloud(config)
 cloud.boot()

@@ -26,7 +26,7 @@ Run:  python examples/consolidation_vs_congestion.py [--trace-out trace.json]
 import argparse
 import random
 
-from repro import PiCloud, PiCloudConfig
+from repro import PiCloud, PiCloudConfig, TraceConfig
 from repro.apps import OnOffTrafficSource
 from repro.placement import Consolidator, WorstFit
 from repro.units import kib
@@ -49,7 +49,7 @@ def main(argv=None):
 
     config = PiCloudConfig.small(
         racks=2, pis=3, start_monitoring=False, routing="shortest",
-        tracing=args.trace_out is not None,
+        trace=TraceConfig(enabled=args.trace_out is not None),
     )
     cloud = PiCloud(config)
     cloud.boot()

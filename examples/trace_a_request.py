@@ -17,9 +17,9 @@ Run:  python examples/trace_a_request.py [out.json]
 
 import sys
 
-from repro import PiCloud, PiCloudConfig
+from repro import PiCloud, PiCloudConfig, TraceConfig
 
-cloud = PiCloud(PiCloudConfig.small(tracing=True, start_monitoring=False))
+cloud = PiCloud(PiCloudConfig.small(trace=TraceConfig(enabled=True), start_monitoring=False))
 cloud.boot()
 record = cloud.spawn_and_wait("webserver", name="web-1")
 tracer = cloud.tracer

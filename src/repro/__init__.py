@@ -9,6 +9,11 @@ management plane (REST, DHCP, DNS, images, monitoring), cloud workloads
 (HTTP, key-value store, MapReduce), placement/consolidation/migration
 algorithms and power/cost instrumentation.
 
+This module is the stable public facade (see ``docs/api.md``): everything
+in ``__all__`` is importable directly from ``repro`` and covered by the
+compatibility policy.  Submodule paths (``repro.netsim...``) are internal
+and may move between minor releases.
+
 Quickstart::
 
     from repro import PiCloud, PiCloudConfig
@@ -25,18 +30,62 @@ the paper-vs-measured record of every table and figure.
 
 __version__ = "1.0.0"
 
-__all__ = ["PiCloud", "PiCloudConfig", "__version__"]
+# Lazy re-exports keep ``import repro`` cheap and avoid importing the
+# whole stack when callers only need one substrate package.
+_FACADE = {
+    # Core entry points.
+    "PiCloud": "repro.core.cloud",
+    "PiCloudConfig": "repro.core.config",
+    "SimBudgetConfig": "repro.core.config",
+    "HealthConfig": "repro.core.config",
+    "TraceConfig": "repro.core.config",
+    # Fault injection and tracing.
+    "FaultSchedule": "repro.faults",
+    "FaultEvent": "repro.faults",
+    "MtbfFaultInjector": "repro.faults",
+    "Tracer": "repro.trace.tracer",
+    # Error hierarchy.
+    "PiCloudError": "repro.errors",
+    "ConfigurationError": "repro.errors",
+    "SimulationError": "repro.errors",
+    "SimBudgetExceeded": "repro.errors",
+    "DeadlineExceeded": "repro.errors",
+    "HardwareError": "repro.errors",
+    "OutOfMemoryError": "repro.errors",
+    "StorageFullError": "repro.errors",
+    "PowerStateError": "repro.errors",
+    "NetworkError": "repro.errors",
+    "NoRouteError": "repro.errors",
+    "AddressError": "repro.errors",
+    "VirtualisationError": "repro.errors",
+    "ContainerStateError": "repro.errors",
+    "ImageError": "repro.errors",
+    "MigrationError": "repro.errors",
+    "ManagementError": "repro.errors",
+    "RestError": "repro.errors",
+    "CircuitOpenError": "repro.errors",
+    "LeaseError": "repro.errors",
+    "UnknownNodeError": "repro.errors",
+    "FaultError": "repro.errors",
+    "FaultTargetError": "repro.errors",
+    "FaultStateError": "repro.errors",
+    "PlacementError": "repro.errors",
+    "SchedulingError": "repro.errors",
+}
+
+__all__ = ["__version__", *_FACADE]
 
 
 def __getattr__(name: str):
-    # Lazy re-exports keep ``import repro`` cheap and avoid importing the
-    # whole stack when callers only need one substrate package.
-    if name == "PiCloud":
-        from repro.core.cloud import PiCloud
+    module_name = _FACADE.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
 
-        return PiCloud
-    if name == "PiCloudConfig":
-        from repro.core.config import PiCloudConfig
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache so __getattr__ runs once per name
+    return value
 
-        return PiCloudConfig
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -21,7 +21,13 @@ from typing import Optional, Sequence
 
 from repro.core.cloud import PiCloud
 from repro.core.comparison import testbed_comparison
-from repro.core.config import ROUTING_MODES, PiCloudConfig
+from repro.core.config import (
+    ROUTING_MODES,
+    HealthConfig,
+    PiCloudConfig,
+    SimBudgetConfig,
+    TraceConfig,
+)
 from repro.core.experiments import elephant_storm
 from repro.errors import PiCloudError, SimBudgetExceeded
 from repro.telemetry.stats import format_table
@@ -56,11 +62,13 @@ def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
         num_racks=args.racks, pis_per_rack=args.pis,
         routing=args.routing, seed=args.seed,
         start_monitoring=monitoring,
-        max_events=args.max_events,
-        max_sim_time_s=args.max_sim_time,
-        max_wall_s=args.wall_timeout,
-        tracing=args.trace_out is not None,
-        self_healing=args.self_healing,
+        budget=SimBudgetConfig(
+            max_events=args.max_events,
+            max_sim_time_s=args.max_sim_time,
+            max_wall_s=args.wall_timeout,
+        ),
+        trace=TraceConfig(enabled=args.trace_out is not None),
+        health=HealthConfig(enabled=args.self_healing),
     )
     cloud = PiCloud(config)
     # Remembered so main() can export the trace even when the command

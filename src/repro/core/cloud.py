@@ -55,9 +55,9 @@ class PiCloud:
         self.config = config or PiCloudConfig()
         self.sim = Simulator(budget=self.config.run_budget())
         self.tracer: Optional[Tracer] = None
-        if self.config.tracing:
+        if self.config.trace.enabled:
             self.tracer = Tracer(
-                self.sim, kernel_events=self.config.trace_kernel_events
+                self.sim, kernel_events=self.config.trace.kernel_events
             )
         self.budget_telemetry = BudgetTelemetry(self.sim)
         self.rng = RngRegistry(self.config.seed)
@@ -115,6 +115,7 @@ class PiCloud:
         self.network = Network(
             self.sim, self.topology, path_service=path_service,
             congestion_threshold=self.config.congestion_threshold,
+            incremental=self.config.incremental_fairness,
         )
         if self.controller is not None:
             self.controller.attach_network(self.network)
@@ -181,22 +182,25 @@ class PiCloud:
             self.kernels[name] = HostKernel(self.sim, machine, self.ip_fabric)
 
         # The pimaster and its services.
+        health = self.config.health
         self.pimaster = PiMaster(
             self.kernels[PIMASTER_NODE],
             subnet=self.config.subnet,
             zone=self.config.dns_zone,
             monitoring_interval_s=self.config.monitoring_interval_s,
+            monitoring_idle_backoff=self.config.monitoring_idle_backoff,
+            monitoring_max_interval_s=self.config.monitoring_max_interval_s,
             op_deadline_s=self.config.op_deadline_s,
             op_attempts=self.config.op_attempts,
             op_backoff_s=self.config.op_backoff_s,
-            heartbeat_interval_s=self.config.heartbeat_interval_s,
-            heartbeat_timeout_s=self.config.heartbeat_timeout_s,
-            suspect_after_misses=self.config.suspect_after_misses,
-            dead_after_misses=self.config.dead_after_misses,
-            evacuation_queue_limit=self.config.evacuation_queue_limit,
-            evacuation_retry_budget=self.config.evacuation_retry_budget,
-            breaker_failure_threshold=self.config.breaker_failure_threshold,
-            breaker_reset_s=self.config.breaker_reset_s,
+            heartbeat_interval_s=health.heartbeat_interval_s,
+            heartbeat_timeout_s=health.heartbeat_timeout_s,
+            suspect_after_misses=health.suspect_after_misses,
+            dead_after_misses=health.dead_after_misses,
+            evacuation_queue_limit=health.evacuation_queue_limit,
+            evacuation_retry_budget=health.evacuation_retry_budget,
+            breaker_failure_threshold=health.breaker_failure_threshold,
+            breaker_reset_s=health.breaker_reset_s,
         )
         self.pimaster.health.fault_context_provider = self.fault_context
         pool = self.pimaster.dhcp.pool
@@ -217,7 +221,7 @@ class PiCloud:
 
         if self.config.start_monitoring:
             self.pimaster.monitoring.start()
-        if self.config.self_healing:
+        if self.config.health.enabled:
             self.pimaster.health.start()
         self._booted = True
 
@@ -361,7 +365,8 @@ class PiCloud:
         """
         if self.tracer is None:
             raise PiCloudError(
-                "tracing is off; build with PiCloudConfig(tracing=True)"
+                "tracing is off; build with "
+                "PiCloudConfig(trace=TraceConfig(enabled=True))"
             )
         self.tracer.finish_open_spans()
         return self.tracer.write(path)

@@ -4,14 +4,27 @@ The defaults reproduce the paper's testbed exactly: 4 racks x 14
 Raspberry Pi Model B boards (56 total), a canonical multi-root tree with
 two OpenFlow-enabled aggregation switches and a gateway/border router,
 100 Mb/s host links, and a pimaster head node hanging off the gateway.
+
+:class:`PiCloudConfig` is keyword-only and groups cross-cutting concerns
+into sub-configs:
+
+* :class:`SimBudgetConfig` (``budget=``) -- kernel run budgets/watchdog.
+* :class:`HealthConfig` (``health=``) -- the self-healing control plane.
+* :class:`TraceConfig` (``trace=``) -- cross-layer causal tracing.
+
+The old flat knobs (``max_events=``, ``tracing=``, ``self_healing=``,
+``heartbeat_interval_s=``, ...) are still accepted with a
+``DeprecationWarning`` and are mapped onto the sub-configs; they will be
+removed in a future major release (see ``docs/api.md`` for the policy).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.errors import PiCloudError
+from repro.errors import ConfigurationError, PiCloudError
 from repro.hardware.catalog import (
     RASPBERRY_PI_MODEL_B,
     RASPBERRY_PI_MODEL_B_512,
@@ -31,9 +44,154 @@ ROUTING_MODES = (
 TOPOLOGY_KINDS = ("multi-root-tree", "fat-tree")
 
 
-@dataclass
+@dataclass(frozen=True, kw_only=True)
+class SimBudgetConfig:
+    """Hard safety nets for the discrete-event kernel.
+
+    Exhausting an axis raises
+    :class:`~repro.errors.SimBudgetExceeded` with a diagnostic snapshot
+    instead of spinning.  ``None`` disables an axis.  ``max_wall_s`` is
+    wall-clock seconds per ``run()`` call; ``max_events`` is cumulative
+    over the simulator's lifetime.
+    """
+
+    max_events: Optional[int] = None
+    max_sim_time_s: Optional[float] = None
+    max_wall_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise ConfigurationError(
+                f"max_events must be >= 1, got {self.max_events}"
+            )
+        if self.max_sim_time_s is not None and self.max_sim_time_s < 0:
+            raise ConfigurationError(
+                f"max_sim_time_s must be >= 0, got {self.max_sim_time_s}"
+            )
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise ConfigurationError(
+                f"max_wall_s must be > 0, got {self.max_wall_s}"
+            )
+
+    def run_budget(self):
+        """The configured kernel budget, or None when fully unbounded."""
+        if (self.max_events is None and self.max_sim_time_s is None
+                and self.max_wall_s is None):
+            return None
+        from repro.sim.budget import RunBudget
+
+        return RunBudget(
+            max_events=self.max_events,
+            max_sim_time=self.max_sim_time_s,
+            max_wall_s=self.max_wall_s,
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class HealthConfig:
+    """The pimaster's self-healing control plane.
+
+    When ``enabled``, the heartbeat failure detector starts at boot:
+    nodes missing ``suspect_after_misses`` consecutive heartbeats become
+    SUSPECT, ``dead_after_misses`` DEAD; a dead node's containers are
+    evacuated (respawned elsewhere via the placement policy, bounded
+    queue + per-container retry budget).  Per-node circuit breakers open
+    after ``breaker_failure_threshold`` consecutive transport failures
+    and half-open after ``breaker_reset_s``.
+    """
+
+    enabled: bool = False
+    heartbeat_interval_s: float = 2.0
+    heartbeat_timeout_s: float = 1.0
+    suspect_after_misses: int = 2
+    dead_after_misses: int = 4
+    evacuation_queue_limit: int = 64
+    evacuation_retry_budget: int = 2
+    breaker_failure_threshold: int = 5
+    breaker_reset_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
+            )
+        if self.heartbeat_timeout_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_timeout_s must be > 0, got {self.heartbeat_timeout_s}"
+            )
+        if self.suspect_after_misses < 1:
+            raise ConfigurationError(
+                "suspect_after_misses must be >= 1, "
+                f"got {self.suspect_after_misses}"
+            )
+        if self.dead_after_misses <= self.suspect_after_misses:
+            raise ConfigurationError(
+                "dead_after_misses must exceed suspect_after_misses "
+                f"(got {self.dead_after_misses} <= {self.suspect_after_misses})"
+            )
+        if self.evacuation_queue_limit < 1:
+            raise ConfigurationError(
+                "evacuation_queue_limit must be >= 1, "
+                f"got {self.evacuation_queue_limit}"
+            )
+        if self.evacuation_retry_budget < 0:
+            raise ConfigurationError(
+                "evacuation_retry_budget must be >= 0, "
+                f"got {self.evacuation_retry_budget}"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError(
+                "breaker_failure_threshold must be >= 1, "
+                f"got {self.breaker_failure_threshold}"
+            )
+        if self.breaker_reset_s <= 0:
+            raise ConfigurationError(
+                f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
+            )
+
+
+@dataclass(frozen=True, kw_only=True)
+class TraceConfig:
+    """Cross-layer causal tracing (see ``docs/tracing.md``).
+
+    When ``enabled``, a :class:`repro.trace.Tracer` is installed on the
+    simulator at build time and every layer's spans (rest/mgmt/virt/net)
+    are recorded.  ``kernel_events`` additionally logs each kernel event
+    dispatch as an instant on a "sim.kernel" track (bounded; expensive --
+    debug only).
+    """
+
+    enabled: bool = False
+    kernel_events: bool = False
+
+
+# Deprecated flat knob -> (sub-config attribute on PiCloudConfig, field name).
+_DEPRECATED_KNOBS = {
+    "max_events": ("budget", "max_events"),
+    "max_sim_time_s": ("budget", "max_sim_time_s"),
+    "max_wall_s": ("budget", "max_wall_s"),
+    "self_healing": ("health", "enabled"),
+    "heartbeat_interval_s": ("health", "heartbeat_interval_s"),
+    "heartbeat_timeout_s": ("health", "heartbeat_timeout_s"),
+    "suspect_after_misses": ("health", "suspect_after_misses"),
+    "dead_after_misses": ("health", "dead_after_misses"),
+    "evacuation_queue_limit": ("health", "evacuation_queue_limit"),
+    "evacuation_retry_budget": ("health", "evacuation_retry_budget"),
+    "breaker_failure_threshold": ("health", "breaker_failure_threshold"),
+    "breaker_reset_s": ("health", "breaker_reset_s"),
+    "tracing": ("trace", "enabled"),
+    "trace_kernel_events": ("trace", "kernel_events"),
+}
+
+
+@dataclass(kw_only=True)
 class PiCloudConfig:
-    """All the knobs.  Defaults = the paper's 56-Pi deployment."""
+    """All the knobs.  Defaults = the paper's 56-Pi deployment.
+
+    Keyword-only.  Budget, self-healing and tracing knobs live in the
+    ``budget`` / ``health`` / ``trace`` sub-configs; the old flat names
+    still work but emit :class:`DeprecationWarning`.
+    """
 
     # -- machines ---------------------------------------------------------
     num_racks: int = 4
@@ -54,21 +212,23 @@ class PiCloudConfig:
     sdn_control_latency_s: float = 1e-3
     sdn_match_granularity: str = "pair"
     congestion_threshold: float = 0.9
+    # Incremental fair-share recomputation: each flow arrival/completion
+    # re-solves only the affected bottleneck component instead of the
+    # whole fabric.  False selects the exact-fallback full solve (the
+    # pre-optimisation behaviour; same rates, much slower at scale).
+    incremental_fairness: bool = True
 
     # -- management --------------------------------------------------------------
     subnet: str = "10.0.0.0/16"
     dns_zone: str = "picloud.dcs.gla.ac.uk"
     monitoring_interval_s: float = 5.0
+    # Idle nodes (metrics unchanged since the last poll) are polled less
+    # often: the interval grows by monitoring_idle_backoff x per quiet
+    # poll, capped at monitoring_max_interval_s (None = 8x the base
+    # interval).  1.0 disables the backoff.
+    monitoring_idle_backoff: float = 2.0
+    monitoring_max_interval_s: Optional[float] = None
     start_monitoring: bool = True
-
-    # -- run budget / watchdog ---------------------------------------------
-    # Hard safety nets for the discrete-event kernel: exhausting one raises
-    # SimBudgetExceeded with a diagnostic snapshot instead of spinning.
-    # None disables the axis.  max_wall_s is wall-clock seconds per run()
-    # call; max_events is cumulative over the simulator's lifetime.
-    max_events: Optional[int] = None
-    max_sim_time_s: Optional[float] = None
-    max_wall_s: Optional[float] = None
     # Management-plane operation guards: container start/stop/migrate and
     # other REST orchestration time out after op_deadline_s (simulated)
     # and are retried up to op_attempts times with exponential backoff
@@ -77,89 +237,40 @@ class PiCloudConfig:
     op_attempts: int = 3
     op_backoff_s: float = 1.0
 
-    # -- self-healing ------------------------------------------------------
-    # When self_healing is on, the pimaster's heartbeat failure detector
-    # starts at boot: nodes missing suspect_after_misses consecutive
-    # heartbeats become SUSPECT, dead_after_misses DEAD; a dead node's
-    # containers are evacuated (respawned elsewhere via the placement
-    # policy, bounded queue + per-container retry budget).  Per-node
-    # circuit breakers open after breaker_failure_threshold consecutive
-    # transport failures and half-open after breaker_reset_s.
-    self_healing: bool = False
-    heartbeat_interval_s: float = 2.0
-    heartbeat_timeout_s: float = 1.0
-    suspect_after_misses: int = 2
-    dead_after_misses: int = 4
-    evacuation_queue_limit: int = 64
-    evacuation_retry_budget: int = 2
-    breaker_failure_threshold: int = 5
-    breaker_reset_s: float = 60.0
-
-    # -- tracing ----------------------------------------------------------
-    # When on, a repro.trace.Tracer is installed on the simulator at build
-    # time and every layer's spans (rest/mgmt/virt/net) are recorded.
-    # trace_kernel_events additionally logs each kernel event dispatch as
-    # an instant on a "sim.kernel" track (bounded; expensive -- debug only).
-    tracing: bool = False
-    trace_kernel_events: bool = False
+    # -- grouped sub-configs ----------------------------------------------
+    budget: SimBudgetConfig = field(default_factory=SimBudgetConfig)
+    health: HealthConfig = field(default_factory=HealthConfig)
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     # -- reproducibility --------------------------------------------------------------
     seed: int = 0
 
+    # -- deprecated flat knobs (shims; see _DEPRECATED_KNOBS) -------------
+    max_events: Optional[int] = None
+    max_sim_time_s: Optional[float] = None
+    max_wall_s: Optional[float] = None
+    self_healing: Optional[bool] = None
+    heartbeat_interval_s: Optional[float] = None
+    heartbeat_timeout_s: Optional[float] = None
+    suspect_after_misses: Optional[int] = None
+    dead_after_misses: Optional[int] = None
+    evacuation_queue_limit: Optional[int] = None
+    evacuation_retry_budget: Optional[int] = None
+    breaker_failure_threshold: Optional[int] = None
+    breaker_reset_s: Optional[float] = None
+    tracing: Optional[bool] = None
+    trace_kernel_events: Optional[bool] = None
+
     def __post_init__(self) -> None:
+        self._apply_deprecated_knobs()
         if self.num_racks < 1 or self.pis_per_rack < 1:
             raise PiCloudError("need at least one rack with one Pi")
-        if self.max_events is not None and self.max_events < 1:
-            raise PiCloudError(f"max_events must be >= 1, got {self.max_events}")
-        if self.max_sim_time_s is not None and self.max_sim_time_s < 0:
-            raise PiCloudError(
-                f"max_sim_time_s must be >= 0, got {self.max_sim_time_s}"
-            )
-        if self.max_wall_s is not None and self.max_wall_s <= 0:
-            raise PiCloudError(f"max_wall_s must be > 0, got {self.max_wall_s}")
         if self.op_deadline_s <= 0:
             raise PiCloudError(f"op_deadline_s must be > 0, got {self.op_deadline_s}")
         if self.op_attempts < 1:
             raise PiCloudError(f"op_attempts must be >= 1, got {self.op_attempts}")
         if self.op_backoff_s < 0:
             raise PiCloudError(f"op_backoff_s must be >= 0, got {self.op_backoff_s}")
-        if self.heartbeat_interval_s <= 0:
-            raise PiCloudError(
-                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
-            )
-        if self.heartbeat_timeout_s <= 0:
-            raise PiCloudError(
-                f"heartbeat_timeout_s must be > 0, got {self.heartbeat_timeout_s}"
-            )
-        if self.suspect_after_misses < 1:
-            raise PiCloudError(
-                "suspect_after_misses must be >= 1, "
-                f"got {self.suspect_after_misses}"
-            )
-        if self.dead_after_misses <= self.suspect_after_misses:
-            raise PiCloudError(
-                "dead_after_misses must exceed suspect_after_misses "
-                f"(got {self.dead_after_misses} <= {self.suspect_after_misses})"
-            )
-        if self.evacuation_queue_limit < 1:
-            raise PiCloudError(
-                "evacuation_queue_limit must be >= 1, "
-                f"got {self.evacuation_queue_limit}"
-            )
-        if self.evacuation_retry_budget < 0:
-            raise PiCloudError(
-                "evacuation_retry_budget must be >= 0, "
-                f"got {self.evacuation_retry_budget}"
-            )
-        if self.breaker_failure_threshold < 1:
-            raise PiCloudError(
-                "breaker_failure_threshold must be >= 1, "
-                f"got {self.breaker_failure_threshold}"
-            )
-        if self.breaker_reset_s <= 0:
-            raise PiCloudError(
-                f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
-            )
         if self.topology not in TOPOLOGY_KINDS:
             raise PiCloudError(
                 f"unknown topology {self.topology!r}; use one of {TOPOLOGY_KINDS}"
@@ -176,22 +287,41 @@ class PiCloudConfig:
                     f"config asks for {self.node_count}"
                 )
 
+    def _apply_deprecated_knobs(self) -> None:
+        """Fold deprecated flat kwargs into the grouped sub-configs.
+
+        After folding, the flat attributes mirror the effective grouped
+        values, so legacy *reads* (``config.max_events``) keep working
+        too -- only passing them to the constructor warns.
+        """
+        overrides: dict[str, dict[str, object]] = {}
+        for old, (group, new) in _DEPRECATED_KNOBS.items():
+            value = getattr(self, old)
+            if value is not None:
+                suggestion = {
+                    "budget": f"budget=SimBudgetConfig({new}=...)",
+                    "health": f"health=HealthConfig({new}=...)",
+                    "trace": f"trace=TraceConfig({new}=...)",
+                }[group]
+                warnings.warn(
+                    f"PiCloudConfig({old}=...) is deprecated; use {suggestion}",
+                    DeprecationWarning,
+                    stacklevel=4,
+                )
+                overrides.setdefault(group, {})[new] = value
+        for group, values in overrides.items():
+            setattr(self, group, replace(getattr(self, group), **values))
+        # Mirror the effective grouped values back onto the flat names.
+        for old, (group, new) in _DEPRECATED_KNOBS.items():
+            setattr(self, old, getattr(getattr(self, group), new))
+
     @property
     def node_count(self) -> int:
         return self.num_racks * self.pis_per_rack
 
     def run_budget(self):
         """The configured kernel budget, or None when fully unbounded."""
-        if (self.max_events is None and self.max_sim_time_s is None
-                and self.max_wall_s is None):
-            return None
-        from repro.sim.budget import RunBudget
-
-        return RunBudget(
-            max_events=self.max_events,
-            max_sim_time=self.max_sim_time_s,
-            max_wall_s=self.max_wall_s,
-        )
+        return self.budget.run_budget()
 
     @classmethod
     def paper_testbed(cls) -> "PiCloudConfig":

@@ -12,6 +12,15 @@ class PiCloudError(Exception):
     """Base class for every error raised by this library."""
 
 
+class ConfigurationError(PiCloudError, ValueError):
+    """An invalid configuration or parameter value.
+
+    Also a ``ValueError``: call sites that historically raised bare
+    ``ValueError`` (solver inputs, service intervals, autoscaler bounds)
+    now raise this, and code catching ``ValueError`` keeps working.
+    """
+
+
 class SimulationError(PiCloudError):
     """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
 
@@ -135,6 +144,27 @@ class LeaseError(ManagementError):
 
 class NameError_(ManagementError):
     """DNS name not found or already registered."""
+
+
+class UnknownNodeError(ManagementError, KeyError):
+    """A management-plane lookup named a node the pimaster does not know.
+
+    Also a ``KeyError`` for backward compatibility with the registry's
+    original mapping semantics.
+    """
+
+
+class FaultError(PiCloudError):
+    """Base class for fault-injection misuse."""
+
+
+class FaultTargetError(FaultError, ValueError):
+    """A fault schedule names an unknown node or link (also ``ValueError``)."""
+
+
+class FaultStateError(FaultError, RuntimeError):
+    """Fault machinery used out of order, e.g. arming a schedule twice
+    (also ``RuntimeError``)."""
 
 
 class PlacementError(PiCloudError):

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from typing import List, Literal, Optional, Tuple
 
 from repro.core.cloud import PiCloud
-from repro.errors import NetworkError
+from repro.errors import (
+    ConfigurationError,
+    FaultStateError,
+    FaultTargetError,
+    NetworkError,
+)
 from repro.sim.process import Timeout
 
 FaultKind = Literal["node-fail", "node-repair", "link-fail", "link-repair"]
@@ -77,7 +82,7 @@ class FaultSchedule:
             if kind in ("node-fail", "node-repair"):
                 if target not in self.cloud.machines:
                     valid = ", ".join(sorted(self.cloud.machines))
-                    raise ValueError(
+                    raise FaultTargetError(
                         f"fault schedule targets unknown node {target!r}; "
                         f"valid nodes: {valid}"
                     )
@@ -90,7 +95,7 @@ class FaultSchedule:
                         "|".join(link.endpoints)
                         for link in self.cloud.network.links()
                     )
-                    raise ValueError(
+                    raise FaultTargetError(
                         f"fault schedule targets unknown link {target!r}; "
                         f"valid links: {valid}"
                     ) from None
@@ -98,7 +103,7 @@ class FaultSchedule:
     def arm(self) -> None:
         """Validate targets and schedule every scripted fault."""
         if self._armed:
-            raise RuntimeError("fault schedule already armed")
+            raise FaultStateError("fault schedule already armed")
         self._validate_targets()
         self._armed = True
         for at, kind, target in sorted(self._script):
@@ -140,12 +145,12 @@ class MtbfFaultInjector:
         duration_s: Optional[float] = None,
     ) -> None:
         if node_mtbf_s is None and link_mtbf_s is None:
-            raise ValueError("enable at least one of node/link failures")
+            raise ConfigurationError("enable at least one of node/link failures")
         for value in (node_mtbf_s, link_mtbf_s):
             if value is not None and value <= 0:
-                raise ValueError("MTBF must be positive")
+                raise ConfigurationError("MTBF must be positive")
         if mttr_s <= 0:
-            raise ValueError("MTTR must be positive")
+            raise ConfigurationError("MTTR must be positive")
         self.cloud = cloud
         self.rng = rng or random.Random(0)
         self.node_mtbf_s = node_mtbf_s
@@ -249,7 +254,7 @@ class MtbfFaultInjector:
         contribute nothing (they can never go negative).
         """
         if end <= start:
-            raise ValueError("empty window")
+            raise ConfigurationError("empty window")
         down_since: Optional[float] = None
         downtime = 0.0
         for event in self.log:
@@ -272,5 +277,5 @@ class MtbfFaultInjector:
         """
         nodes = self.cloud.node_names
         if not nodes:
-            raise ValueError("cloud has no managed nodes")
+            raise ConfigurationError("cloud has no managed nodes")
         return sum(self.availability(n, start, end) for n in nodes) / len(nodes)

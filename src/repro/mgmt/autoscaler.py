@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.errors import ConfigurationError
 from repro.mgmt.pimaster import PiMaster
 from repro.sim.process import Timeout
 
@@ -41,11 +42,11 @@ class AutoscalerConfig:
 
     def __post_init__(self) -> None:
         if not (1 <= self.min_replicas <= self.max_replicas):
-            raise ValueError("need 1 <= min_replicas <= max_replicas")
+            raise ConfigurationError("need 1 <= min_replicas <= max_replicas")
         if not (0.0 <= self.low_watermark < self.high_watermark <= 1.0):
-            raise ValueError("need 0 <= low < high <= 1")
+            raise ConfigurationError("need 0 <= low < high <= 1")
         if self.interval_s <= 0 or self.cooldown_s < 0:
-            raise ValueError("bad interval/cooldown")
+            raise ConfigurationError("bad interval/cooldown")
 
 
 class Autoscaler:

@@ -20,6 +20,7 @@ from repro.errors import (
     NameError_,
     PlacementError,
     RestError,
+    UnknownNodeError,
 )
 from repro.hostos.kernelhost import HostKernel
 from repro.mgmt.dashboard import Dashboard
@@ -68,6 +69,8 @@ class PiMaster:
         zone: str = "picloud.dcs.gla.ac.uk",
         placement_policy: Optional[PlacementPolicy] = None,
         monitoring_interval_s: float = 5.0,
+        monitoring_idle_backoff: float = 2.0,
+        monitoring_max_interval_s: Optional[float] = None,
         image_service: Optional[ImageService] = None,
         op_deadline_s: float = 1800.0,
         op_attempts: int = 3,
@@ -98,7 +101,9 @@ class PiMaster:
         self.dns = DnsServer(zone)
         self.images = image_service or ImageService(self.sim)
         self.monitoring = MonitoringService(
-            self.sim, self.client, interval_s=monitoring_interval_s
+            self.sim, self.client, interval_s=monitoring_interval_s,
+            idle_backoff=monitoring_idle_backoff,
+            max_interval_s=monitoring_max_interval_s,
         )
         self.placement_policy: PlacementPolicy = placement_policy or FirstFit()
         self._nodes: Dict[str, NodeRecord] = {}
@@ -157,7 +162,7 @@ class PiMaster:
         try:
             return self._breakers[node_id]
         except KeyError:
-            raise KeyError(f"unknown node {node_id!r}") from None
+            raise UnknownNodeError(f"unknown node {node_id!r}") from None
 
     def _on_health_transition(self, node_id: str, old: NodeHealth,
                               new: NodeHealth, context) -> None:
@@ -264,7 +269,7 @@ class PiMaster:
         try:
             return self._nodes[node_id].daemon
         except KeyError:
-            raise KeyError(f"unknown node {node_id!r}") from None
+            raise UnknownNodeError(f"unknown node {node_id!r}") from None
 
     def node_ip(self, node_id: str) -> str:
         return self._nodes[node_id].ip

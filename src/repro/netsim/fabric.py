@@ -2,10 +2,21 @@
 
 :class:`Network` instantiates a :class:`~repro.netsim.link.Link` per
 topology edge and runs the fluid flow model: whenever a flow starts,
-finishes, or is rerouted, every active flow's rate is recomputed with
-:func:`~repro.netsim.fairness.max_min_rates` and its completion event is
+finishes, or is rerouted, fair-share rates are recomputed with
+:func:`~repro.netsim.fairness.max_min_rates` and completion events are
 rescheduled.  Per-direction utilisation gauges and congestion counters
 feed the cross-layer experiments (C2/C3) directly.
+
+The recompute is *incremental* by default: each churn event (activate,
+complete, fail, reroute) marks the link directions and flows it touched
+dirty, and the next solve only covers the affected bottleneck component
+-- the flows transitively sharing a link with the dirty set -- instead of
+the whole fabric.  Because the solver fills each component independently
+(see :mod:`repro.netsim.fairness`), the component-local answer is
+bit-identical to the corresponding slice of a full solve; rates, bytes
+and congestion accounting cannot drift.  Pass ``incremental=False`` for
+the exact-fallback path that re-solves everything on every event (the
+pre-optimisation behaviour, kept for cross-checking and benchmarks).
 """
 
 from __future__ import annotations
@@ -109,18 +120,28 @@ class Network:
         topology: Topology,
         path_service: Optional[PathService] = None,
         congestion_threshold: float = 0.9,
+        incremental: bool = True,
     ) -> None:
         topology.validate()
         self.sim = sim
         self.topology = topology
         self.path_service: PathService = path_service or ShortestPathRouting(sim, topology)
         self.congestion_threshold = congestion_threshold
+        self.incremental = incremental
 
         self._links: Dict[frozenset, Link] = {}
         for a, b, spec in topology.edges():
             self._links[frozenset((a, b))] = Link(sim, a, b, spec.bandwidth, spec.latency)
 
         self._active: set[FlowTransfer] = set()
+        # Incremental solver state: link directions whose flow membership
+        # changed and flows whose constraints changed since the last solve.
+        self._dirty_directions: set[LinkDirection] = set()
+        self._dirty_flows: set[FlowTransfer] = set()
+        # Cumulative solver effort counters (benchmark/diagnostic aid):
+        # how many flow-rate assignments each recompute performed.
+        self.recomputes = 0
+        self.flows_solved = 0
         self.flows_started = Counter(sim, "net.flows.started")
         self.flows_completed = Counter(sim, "net.flows.completed")
         self.flows_failed = Counter(sim, "net.flows.failed")
@@ -257,8 +278,10 @@ class Network:
             self._complete(flow)
             return
         self._active.add(flow)
+        self._dirty_flows.add(flow)
         for direction in flow.directions:
             direction.flows.add(flow)
+            self._dirty_directions.add(direction)
         self._recompute()
 
     def reroute(self, flow: FlowTransfer, new_path: List[str]) -> None:
@@ -273,10 +296,13 @@ class Network:
         self._settle(flow)
         for direction in flow.directions:
             direction.flows.discard(flow)
+            self._dirty_directions.add(direction)
         flow.path = list(new_path)
         flow.directions = directions
+        self._dirty_flows.add(flow)
         for direction in directions:
             direction.flows.add(flow)
+            self._dirty_directions.add(direction)
         self._recompute()
 
     # -- the fluid model ----------------------------------------------------------
@@ -296,23 +322,77 @@ class Network:
                 direction.bytes_carried.add(moved)
         flow._last_update = self.sim.now
 
+    def _affected(self) -> tuple[list[FlowTransfer], set[LinkDirection]]:
+        """Expand the dirty set into whole bottleneck components.
+
+        Returns every active flow transitively sharing a direction with a
+        dirty flow/direction (sorted by flow id for determinism) plus all
+        directions reached -- a closed subproblem for the solver.
+        """
+        seen_flows = {f for f in self._dirty_flows if f in self._active}
+        seen_dirs = set(self._dirty_directions)
+        frontier = list(seen_flows)
+        for direction in self._dirty_directions:
+            for flow in direction.flows:
+                if flow not in seen_flows:
+                    seen_flows.add(flow)
+                    frontier.append(flow)
+        while frontier:
+            flow = frontier.pop()
+            for direction in flow.directions:
+                if direction not in seen_dirs:
+                    seen_dirs.add(direction)
+                    for other in direction.flows:
+                        if other not in seen_flows:
+                            seen_flows.add(other)
+                            frontier.append(other)
+        return sorted(seen_flows, key=lambda f: f.flow_id), seen_dirs
+
     def _recompute(self) -> None:
-        """Re-solve fair-share rates and reschedule completions."""
-        for flow in self._active:
+        """Re-solve fair-share rates and reschedule completions.
+
+        Incremental mode solves only the dirty bottleneck component(s);
+        the fallback treats everything as dirty and re-solves the whole
+        fabric (the pre-optimisation behaviour).  Both paths run the same
+        per-component arithmetic, so they assign identical rates.
+        """
+        if self.incremental:
+            flows, dirty_dirs = self._affected()
+        else:
+            flows = sorted(self._active, key=lambda f: f.flow_id)
+            dirty_dirs = None  # refresh every direction below
+        self._dirty_flows.clear()
+        self._dirty_directions.clear()
+        if not flows and dirty_dirs is not None and not dirty_dirs:
+            return
+        self.recomputes += 1
+        self.flows_solved += len(flows)
+
+        for flow in flows:
             self._settle(flow)
 
-        flow_paths = {flow: flow.directions for flow in self._active}
+        flow_paths = {flow: flow.directions for flow in flows}
         capacities: Dict[LinkDirection, float] = {}
-        for flow in self._active:
+        for flow in flows:
             for direction in flow.directions:
                 capacities[direction] = direction.capacity
         rate_caps = {
-            flow: flow.rate_cap for flow in self._active if flow.rate_cap is not None
+            flow: flow.rate_cap for flow in flows if flow.rate_cap is not None
         }
         rates = max_min_rates(flow_paths, capacities, rate_caps)
 
-        for flow in self._active:
-            flow.rate = rates[flow]
+        for flow in flows:
+            new_rate = rates[flow]
+            if (
+                new_rate == flow.rate
+                and flow._completion_event is not None
+                and not flow._completion_event.cancelled
+            ):
+                # Unchanged rate: the pending completion event was
+                # computed from the same rate history, so its firing
+                # time is still exact -- skip the cancel/reschedule.
+                continue
+            flow.rate = new_rate
             if flow._completion_event is not None:
                 flow._completion_event.cancel()
                 flow._completion_event = None
@@ -324,16 +404,25 @@ class Network:
             # rate == 0: stalled (no capacity); it will be rescheduled by
             # the next recompute that frees capacity.
 
-        # Refresh per-direction loads and congestion accounting.
+        # Refresh loads and congestion accounting on touched directions
+        # only: an untouched direction's aggregate rate cannot have moved.
         loads: Dict[LinkDirection, float] = {}
-        for flow in self._active:
+        for flow in flows:
             if not math.isfinite(flow.rate):
                 continue
             for direction in flow.directions:
                 loads[direction] = loads.get(direction, 0.0) + flow.rate
-        for link in self._links.values():
-            for direction in (link.forward, link.reverse):
-                direction.set_load(loads.get(direction, 0.0), self.congestion_threshold)
+        if dirty_dirs is None:
+            for link in self._links.values():
+                for direction in (link.forward, link.reverse):
+                    direction.set_load(
+                        loads.get(direction, 0.0), self.congestion_threshold
+                    )
+        else:
+            for direction in sorted(dirty_dirs, key=lambda d: d.name):
+                direction.set_load(
+                    loads.get(direction, 0.0), self.congestion_threshold
+                )
 
     def _complete(self, flow: FlowTransfer) -> None:
         if flow.state is not FlowState.ACTIVE:
@@ -390,8 +479,10 @@ class Network:
 
     def _detach(self, flow: FlowTransfer) -> None:
         self._active.discard(flow)
+        self._dirty_flows.discard(flow)
         for direction in flow.directions:
             direction.flows.discard(flow)
+            self._dirty_directions.add(direction)
         if flow._completion_event is not None:
             flow._completion_event.cancel()
             flow._completion_event = None
@@ -405,8 +496,19 @@ class Network:
     def active_flows(self) -> list[FlowTransfer]:
         return sorted(self._active, key=lambda f: f.flow_id)
 
+    def sync(self) -> None:
+        """Bring every active flow's byte accounting up to the clock.
+
+        The incremental solver settles only the flows a churn event
+        touched; call this before reading byte counters mid-run so
+        long-lived untouched flows are accounted up to ``sim.now`` too.
+        """
+        for flow in sorted(self._active, key=lambda f: f.flow_id):
+            self._settle(flow)
+
     def congestion_report(self) -> list[dict[str, object]]:
         """Per-direction congestion summary, worst first (experiment C2)."""
+        self.sync()
         rows = []
         for link in self._links.values():
             for direction in (link.forward, link.reverse):

@@ -8,12 +8,27 @@ current rate; the rest keep rising.
 
 This is the textbook fluid model for TCP-dominated data-centre traffic
 and the fidelity level at which the paper's congestion arguments operate.
+
+The solver decomposes the instance into *bottleneck components* --
+connected components of the flow/resource sharing graph -- and fills each
+component independently.  The max-min allocation of disjoint components
+is exactly the union of the per-component allocations (every flow's
+bottleneck resource is inside its own component), so decomposition
+changes nothing about the answer while making the incremental fabric
+solver (:mod:`repro.netsim.fabric`) possible: re-solving one component
+with this function is bit-identical to the slice of a full solve.
+
+Determinism: all iteration happens in the insertion order of
+``flow_paths`` (and path order within each flow), never over sets, so the
+same instance always performs the same arithmetic in the same order.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Sequence
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
 
 FlowId = Hashable
 ResourceId = Hashable
@@ -21,44 +36,68 @@ ResourceId = Hashable
 _EPSILON = 1e-9
 
 
-def max_min_rates(
+def connected_components(
+    flow_paths: Mapping[FlowId, Sequence[ResourceId]],
+) -> List[List[FlowId]]:
+    """Group flows into components that share resources (transitively).
+
+    Flows with empty paths form singleton components.  Component order and
+    the flow order within each component follow ``flow_paths`` insertion
+    order, so the decomposition is deterministic.
+    """
+    resource_owner: Dict[ResourceId, int] = {}   # resource -> component idx
+    parent: List[int] = []                        # union-find over components
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    flow_component: List[int] = []
+    for flow, path in flow_paths.items():
+        idx = len(parent)
+        parent.append(idx)
+        flow_component.append(idx)
+        for resource in path:
+            owner = resource_owner.get(resource)
+            if owner is None:
+                resource_owner[resource] = idx
+            else:
+                a, b = find(idx), find(owner)
+                if a != b:
+                    # Union toward the *older* root so component identity
+                    # (and thus output order) is stable.
+                    if a < b:
+                        parent[b] = a
+                    else:
+                        parent[a] = b
+
+    groups: Dict[int, List[FlowId]] = {}
+    for (flow, _), idx in zip(flow_paths.items(), flow_component):
+        groups.setdefault(find(idx), []).append(flow)
+    # Roots are visited in first-flow order because dict preserves insertion.
+    return list(groups.values())
+
+
+def _fill_component(
+    flows: List[FlowId],
     flow_paths: Mapping[FlowId, Sequence[ResourceId]],
     capacities: Mapping[ResourceId, float],
-    rate_caps: Mapping[FlowId, float] | None = None,
-) -> Dict[FlowId, float]:
-    """Compute max-min fair rates.
-
-    ``flow_paths`` maps each flow to the resources it traverses (a flow
-    with an empty path is only limited by its rate cap, or unbounded).
-    ``capacities`` gives each resource's capacity; ``rate_caps`` optionally
-    caps individual flows.  Returns the rate for every flow.
-
-    Raises ``ValueError`` on a flow referencing an unknown resource or on
-    non-positive capacities.
-    """
-    rate_caps = dict(rate_caps or {})
-    for resource, capacity in capacities.items():
-        if capacity <= 0:
-            raise ValueError(f"resource {resource!r} capacity must be positive")
-    for flow, path in flow_paths.items():
-        for resource in path:
-            if resource not in capacities:
-                raise ValueError(f"flow {flow!r} uses unknown resource {resource!r}")
-        cap = rate_caps.get(flow)
-        if cap is not None and cap < 0:
-            raise ValueError(f"flow {flow!r} has negative rate cap")
-
-    rates: Dict[FlowId, float] = {flow: 0.0 for flow in flow_paths}
-    active = {
-        flow
-        for flow in flow_paths
-        if rate_caps.get(flow, math.inf) > _EPSILON
-    }
-    remaining = {res: float(cap) for res, cap in capacities.items()}
-    # How many *active* flows cross each resource.
-    crossing: Dict[ResourceId, int] = {res: 0 for res in capacities}
+    rate_caps: Mapping[FlowId, float],
+    rates: Dict[FlowId, float],
+) -> None:
+    """Progressive filling over one component; writes into ``rates``."""
+    active: List[FlowId] = [
+        flow for flow in flows if rate_caps.get(flow, math.inf) > _EPSILON
+    ]
+    remaining: Dict[ResourceId, float] = {}
+    crossing: Dict[ResourceId, int] = {}
     for flow in active:
         for res in flow_paths[flow]:
+            if res not in remaining:
+                remaining[res] = float(capacities[res])
+                crossing[res] = 0
             crossing[res] += 1
 
     while active:
@@ -87,20 +126,76 @@ def max_min_rates(
                 remaining[res] -= increment
 
         # Freeze flows that hit a saturated resource or their own cap.
-        frozen = set()
+        survivors: List[FlowId] = []
+        frozen: List[FlowId] = []
         for flow in active:
             cap = rate_caps.get(flow)
             if cap is not None and rates[flow] >= cap - _EPSILON:
-                frozen.add(flow)
+                frozen.append(flow)
                 continue
             if any(remaining[res] <= _EPSILON for res in flow_paths[flow]):
-                frozen.add(flow)
+                frozen.append(flow)
+            else:
+                survivors.append(flow)
         if not frozen:
             # Numerical safety: freeze everything rather than loop forever.
-            frozen = set(active)
+            frozen, survivors = survivors, []
         for flow in frozen:
-            active.discard(flow)
             for res in flow_paths[flow]:
                 crossing[res] -= 1
+        active = survivors
 
+
+def max_min_rates(
+    flow_paths: Mapping[FlowId, Sequence[ResourceId]],
+    capacities: Mapping[ResourceId, float],
+    rate_caps: Mapping[FlowId, float] | None = None,
+) -> Dict[FlowId, float]:
+    """Compute max-min fair rates.
+
+    ``flow_paths`` maps each flow to the resources it traverses (a flow
+    with an empty path is only limited by its rate cap, or unbounded).
+    ``capacities`` gives each resource's capacity; ``rate_caps`` optionally
+    caps individual flows.  Returns the rate for every flow.
+
+    Raises :class:`~repro.errors.ConfigurationError` (a ``ValueError``) on
+    a flow referencing an unknown resource or on non-positive capacities.
+    """
+    rate_caps = dict(rate_caps or {})
+    for resource, capacity in capacities.items():
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"resource {resource!r} capacity must be positive"
+            )
+    for flow, path in flow_paths.items():
+        for resource in path:
+            if resource not in capacities:
+                raise ConfigurationError(
+                    f"flow {flow!r} uses unknown resource {resource!r}"
+                )
+        cap = rate_caps.get(flow)
+        if cap is not None and cap < 0:
+            raise ConfigurationError(f"flow {flow!r} has negative rate cap")
+
+    rates: Dict[FlowId, float] = {flow: 0.0 for flow in flow_paths}
+    for component in connected_components(flow_paths):
+        _fill_component(component, flow_paths, capacities, rate_caps, rates)
     return rates
+
+
+def solve_subset(
+    flows: Iterable[FlowId],
+    flow_paths: Mapping[FlowId, Sequence[ResourceId]],
+    capacities: Mapping[ResourceId, float],
+    rate_caps: Mapping[FlowId, float] | None = None,
+) -> Dict[FlowId, float]:
+    """Solve max-min rates for a subset of flows known to be closed.
+
+    ``flows`` must be a union of whole components (every flow sharing a
+    resource with a member is itself a member); the fabric's dirty-set
+    tracker guarantees this.  Equivalent to slicing a full
+    :func:`max_min_rates` solve down to ``flows`` -- bit-for-bit, since
+    the full solve fills each component independently anyway.
+    """
+    subset = {flow: flow_paths[flow] for flow in flows}
+    return max_min_rates(subset, capacities, rate_caps)

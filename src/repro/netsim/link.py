@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Set
 
 from repro import trace
+from repro.errors import ConfigurationError
 from repro.sim.kernel import Simulator
 from repro.telemetry.series import Counter, Gauge
 
@@ -102,9 +103,9 @@ class Link:
         latency: float = 0.0,
     ) -> None:
         if bandwidth <= 0:
-            raise ValueError(f"link {a}<->{b}: bandwidth must be positive")
+            raise ConfigurationError(f"link {a}<->{b}: bandwidth must be positive")
         if latency < 0:
-            raise ValueError(f"link {a}<->{b}: latency must be >= 0")
+            raise ConfigurationError(f"link {a}<->{b}: latency must be >= 0")
         self.sim = sim
         self.a = a
         self.b = b

@@ -88,12 +88,22 @@ class Simulator:
     import at definition time.
     """
 
+    # Tombstone compaction: every COMPACT_CHECK_MASK+1 scheduled events,
+    # if the queue is at least COMPACT_MIN_QUEUE long and more than half
+    # of it is cancelled tombstones, rebuild the heap without them.  The
+    # fluid flow model cancels/reschedules completion events constantly;
+    # without compaction the heap grows with dead entries and every push
+    # and pop pays log(dead + live).
+    COMPACT_CHECK_MASK = 0x0FFF
+    COMPACT_MIN_QUEUE = 8192
+
     def __init__(self, budget: Optional[RunBudget] = None) -> None:
         self._now = 0.0
         self._queue: list[Event] = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        self.heap_compactions = 0
         self.budget = budget
         # Causal tracing hook (repro.trace.Tracer installs itself here).
         # None keeps the kernel's dispatch path tracing-free: the only
@@ -104,8 +114,14 @@ class Simulator:
         # Observers called with the BudgetSnapshot when a budget trips
         # (telemetry wiring; see repro.telemetry.budget).
         self.budget_hooks: list[Callable[[BudgetSnapshot], None]] = []
+        # Recent-event ring: stores (time, callback) pairs raw; callbacks
+        # are resolved to human-readable labels only when a snapshot is
+        # taken (budget trip / inspection), keeping the dispatch loop free
+        # of the getattr chain in _callback_label.
         trace_length = budget.trace_length if budget else DEFAULT_TRACE_LENGTH
-        self._trace: deque[tuple[float, str]] = deque(maxlen=trace_length)
+        self._trace: deque[tuple[float, Callable[..., None]]] = deque(
+            maxlen=trace_length
+        )
         # Live Process objects (registered by repro.sim.process) so budget
         # snapshots can name what was still runnable.
         self._live_processes: set = set()
@@ -156,7 +172,22 @@ class Simulator:
         event = Event(time, priority, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        if (self._seq & self.COMPACT_CHECK_MASK) == 0:
+            self._maybe_compact()
         return event
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled tombstones when they dominate the queue."""
+        queue = self._queue
+        if len(queue) < self.COMPACT_MIN_QUEUE:
+            return
+        live = [e for e in queue if not e.cancelled]
+        if len(live) * 2 > len(queue):
+            return
+        heapq.heapify(live)
+        # In place, so aliases held by a running dispatch loop stay valid.
+        queue[:] = live
+        self.heap_compactions += 1
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event (lazy removal; the heap slot is skipped)."""
@@ -194,11 +225,10 @@ class Simulator:
         heapq.heappop(self._queue)
         self._now = event.time
         self.events_executed += 1
-        label = _callback_label(event.callback)
-        self._trace.append((event.time, label))
+        self._trace.append((event.time, event.callback))
         tracer = self.tracer
         if tracer is not None and tracer.kernel_events:
-            tracer.on_kernel_event(event.time, label)
+            tracer.on_kernel_event(event.time, _callback_label(event.callback))
         event.callback(*event.args)
         return True
 
@@ -231,43 +261,61 @@ class Simulator:
             effective = None
         executed = 0
         wall_start = time.monotonic() if effective is not None else 0.0
+        # Hoist per-event budget state out of the loop: the hot path pays
+        # int compares only, and wall-clock reads happen every
+        # wall_check_every events rather than per event.
+        if effective is not None:
+            limit_events = effective.max_events
+            limit_sim_time = effective.max_sim_time
+            limit_wall_s = effective.max_wall_s
+            wall_check_every = effective.wall_check_every
+        else:
+            limit_events = limit_sim_time = limit_wall_s = None
+            wall_check_every = 0
+        next_wall_check = wall_check_every
+        queue = self._queue
+        heappop = heapq.heappop
         try:
             while True:
                 if max_events is not None and executed >= max_events:
                     return
-                if effective is not None:
-                    self._enforce(effective, wall_start, executed)
-                next_time = self.peek()
-                if next_time is None:
+                if limit_events is not None and self.events_executed >= limit_events:
+                    self._trip(effective, "events", time.monotonic() - wall_start)
+                if limit_wall_s is not None and executed >= next_wall_check:
+                    next_wall_check = executed + wall_check_every
+                    if time.monotonic() - wall_start > limit_wall_s:
+                        self.watchdog_trips += 1
+                        self._trip(effective, "wall_clock",
+                                   time.monotonic() - wall_start)
+                while queue and queue[0].cancelled:
+                    heappop(queue)
+                if not queue:
                     if until is not None and until > self._now:
                         self._now = until
                     return
+                event = queue[0]
+                next_time = event.time
                 if until is not None and next_time > until:
                     self._now = until
                     return
-                if (effective is not None
-                        and effective.max_sim_time is not None
-                        and next_time > effective.max_sim_time):
-                    if effective.max_sim_time > self._now:
-                        self._now = effective.max_sim_time
+                if limit_sim_time is not None and next_time > limit_sim_time:
+                    if limit_sim_time > self._now:
+                        self._now = limit_sim_time
                     self._trip(effective, "sim_time",
                                time.monotonic() - wall_start)
-                self.step()
+                heappop(queue)
+                self._now = next_time
+                self.events_executed += 1
+                self._trace.append((next_time, event.callback))
+                tracer = self.tracer
+                if tracer is not None and tracer.kernel_events:
+                    tracer.on_kernel_event(next_time, _callback_label(event.callback))
+                event.callback(*event.args)
                 executed += 1
         finally:
             self._running = False
 
     # -- budget enforcement ------------------------------------------------
-
-    def _enforce(self, budget: RunBudget, wall_start: float, executed: int) -> None:
-        if (budget.max_events is not None
-                and self.events_executed >= budget.max_events):
-            self._trip(budget, "events", time.monotonic() - wall_start)
-        if (budget.max_wall_s is not None
-                and executed % budget.wall_check_every == 0
-                and time.monotonic() - wall_start > budget.max_wall_s):
-            self.watchdog_trips += 1
-            self._trip(budget, "wall_clock", time.monotonic() - wall_start)
 
     def _trip(self, budget: RunBudget, reason: str, wall_elapsed_s: float) -> None:
         self.budget_trips += 1
@@ -299,7 +347,12 @@ class Simulator:
             pending_head=[
                 (e.time, _callback_label(e.callback)) for e in pending[:head]
             ],
-            recent_events=list(self._trace),
+            # The ring buffer stores raw callbacks; labels are resolved
+            # here, off the dispatch hot path.
+            recent_events=[
+                (when, _callback_label(callback))
+                for when, callback in self._trace
+            ],
             runnable_processes=sorted(
                 getattr(p, "name", repr(p)) for p in self._live_processes
             ),

@@ -13,7 +13,7 @@ import json
 import pytest
 
 from repro.core.cloud import PiCloud
-from repro.core.config import PiCloudConfig
+from repro.core.config import HealthConfig, PiCloudConfig, TraceConfig
 from repro.errors import CircuitOpenError
 from repro.faults import FaultSchedule
 from repro.mgmt.health import BreakerState, CircuitBreaker, NodeHealth
@@ -23,17 +23,31 @@ HEARTBEAT_INTERVAL_S = 1.0
 DEAD_AFTER_MISSES = 3
 
 
-def build_cloud(**overrides):
-    defaults = dict(
-        racks=2, pis=3, start_monitoring=False, routing="shortest",
-        tracing=True, self_healing=True,
+HEALTH_KNOBS = frozenset(
+    "enabled heartbeat_interval_s heartbeat_timeout_s suspect_after_misses "
+    "dead_after_misses evacuation_queue_limit evacuation_retry_budget "
+    "breaker_failure_threshold breaker_reset_s".split()
+)
+
+
+def build_cloud(tracing=True, self_healing=True, **overrides):
+    health = dict(
+        enabled=self_healing,
         heartbeat_interval_s=HEARTBEAT_INTERVAL_S,
         heartbeat_timeout_s=0.5,
         suspect_after_misses=2,
         dead_after_misses=DEAD_AFTER_MISSES,
     )
-    defaults.update(overrides)
-    cloud = PiCloud(PiCloudConfig.small(**defaults))
+    health.update({k: overrides.pop(k) for k in list(overrides)
+                   if k in HEALTH_KNOBS})
+    config = PiCloudConfig.small(
+        racks=overrides.pop("racks", 2), pis=overrides.pop("pis", 3),
+        start_monitoring=False, routing="shortest",
+        trace=TraceConfig(enabled=tracing),
+        health=HealthConfig(**health),
+        **overrides,
+    )
+    cloud = PiCloud(config)
     cloud.boot()
     return cloud
 

@@ -1,0 +1,166 @@
+"""Incremental max-min fairness: exactness, determinism, accounting.
+
+The incremental solver re-solves only the bottleneck component(s)
+touched by a flow arrival/completion/failure.  These tests pin its one
+non-negotiable property: at every observable instant the rates it
+assigned are *exactly* (to 1e-9) the rates a from-scratch global solve
+over all active flows would assign -- across hundreds of randomized
+churn sequences -- and that whole-cloud runs are byte-identical whether
+the incremental or the exact-fallback path computed them.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.netsim.fabric import Network
+from repro.netsim.fairness import connected_components, max_min_rates
+from repro.netsim.topology import multi_root_tree, rack_host_names
+from repro.sim.kernel import Simulator
+
+TOLERANCE = 1e-9
+
+
+def build_network(incremental: bool, racks: int = 2, pis: int = 4):
+    sim = Simulator()
+    topology = multi_root_tree(
+        rack_host_names(racks, pis),
+        num_roots=2,
+        host_bandwidth=100e6 / 8,
+        uplink_bandwidth=1e9 / 8,
+        gateway_bandwidth=1e9 / 8,
+        latency=50e-6,
+    )
+    network = Network(sim, topology, incremental=incremental)
+    hosts = [name for rack in rack_host_names(racks, pis) for name in rack]
+    return sim, network, hosts
+
+
+def global_rates(network: Network):
+    """A from-scratch max-min solve over every currently active flow."""
+    flows = sorted(network.active_flows(), key=lambda f: f.flow_id)
+    flow_paths = {flow: flow.directions for flow in flows}
+    capacities = {
+        direction: direction.capacity
+        for flow in flows
+        for direction in flow.directions
+    }
+    rate_caps = {f: f.rate_cap for f in flows if f.rate_cap is not None}
+    return max_min_rates(flow_paths, capacities, rate_caps)
+
+
+def assert_rates_match_global(network: Network, context: str) -> None:
+    expected = global_rates(network)
+    for flow, want in expected.items():
+        got = flow.rate
+        if math.isinf(want):
+            assert math.isinf(got), f"{context}: flow{flow.flow_id} {got} != inf"
+        else:
+            assert got == pytest.approx(want, abs=TOLERANCE), (
+                f"{context}: flow{flow.flow_id} incremental={got} global={want}"
+            )
+
+
+def churn_sequence(seed: int, steps: int = 12) -> None:
+    """One randomized workload: arrivals, departures, link flaps.
+
+    After every simulator-visible step the incremental rates must equal
+    a fresh global solve.
+    """
+    rng = random.Random(seed)
+    sim, network, hosts = build_network(incremental=True)
+    links = [(link.a, link.b) for link in network.links()
+             if link.a != "gateway" and link.b != "gateway"]
+    failed: list = []
+    for step in range(steps):
+        op = rng.random()
+        if op < 0.55:
+            src, dst = rng.sample(hosts, 2)
+            nbytes = rng.choice([0.0, 1e3, 1e5, 1e7, 5e7])
+            cap = rng.choice([None, None, 2e6, 10e6])
+            network.transfer(src, dst, nbytes, rate_cap=cap,
+                             tag=f"s{seed}.{step}")
+            # Deliver the transfer's start (latency) events so it
+            # activates and triggers a recompute.
+            sim.run(until=sim.now + 0.01)
+        elif op < 0.75 and links:
+            a, b = rng.choice(links)
+            if (a, b) in failed:
+                network.repair_link(a, b)
+                failed.remove((a, b))
+            else:
+                network.fail_link(a, b)
+                failed.append((a, b))
+            sim.run(until=sim.now + 0.005)
+        else:
+            sim.run(until=sim.now + rng.choice([0.05, 0.5, 3.0]))
+        assert_rates_match_global(network, f"seed={seed} step={step}")
+    # Drain: everything still active must finish under exact rates too.
+    sim.run(until=sim.now + 600.0)
+    assert_rates_match_global(network, f"seed={seed} drained")
+
+
+@pytest.mark.parametrize("seed_block", range(20))
+def test_incremental_matches_global_on_randomized_churn(seed_block):
+    """>= 200 randomized churn sequences, rates exact to 1e-9 throughout."""
+    for seed in range(seed_block * 10, seed_block * 10 + 10):
+        churn_sequence(seed)
+
+
+def test_incremental_and_fallback_complete_flows_identically():
+    """Same workload, both solver paths: identical completion times."""
+    timelines = []
+    for incremental in (True, False):
+        sim, network, hosts = build_network(incremental=incremental)
+        rng = random.Random(7)
+        flows = []
+        for step in range(25):
+            src, dst = rng.sample(hosts, 2)
+            flows.append(network.transfer(src, dst, rng.choice([1e5, 1e6, 1e7])))
+            sim.run(until=sim.now + rng.choice([0.01, 0.2, 1.0]))
+        sim.run(until=sim.now + 3600.0)
+        timelines.append([
+            (f.src, f.dst, f.size, f.started_at, f.completed_at)
+            for f in flows
+        ])
+        assert network.active_flow_count == 0
+    # The two paths settle `remaining` in different elapsed-time
+    # partitions, so completion instants may differ in the last ulp;
+    # endpoints/sizes/start times are exact.
+    for a, b in zip(timelines[0], timelines[1]):
+        assert a[:4] == b[:4]
+        assert a[4] == pytest.approx(b[4], abs=1e-9)
+
+
+def test_incremental_solves_fewer_flows_than_fallback():
+    """The point of the PR: churn must not re-solve the whole fabric."""
+    counts = {}
+    for incremental in (True, False):
+        sim, network, hosts = build_network(incremental=incremental,
+                                            racks=2, pis=6)
+        # Long-lived background flows in one rack, churn in the other.
+        for i in range(0, 4, 2):
+            network.transfer(hosts[i], hosts[i + 1], 1e9)
+        sim.run(until=sim.now + 0.1)
+        for step in range(30):
+            network.transfer(hosts[6], hosts[7], 1e4)
+            sim.run(until=sim.now + 1.0)
+        counts[incremental] = network.flows_solved
+    assert counts[True] < counts[False]
+
+
+def test_sync_settles_byte_accounting():
+    sim, network, hosts = build_network(incremental=True)
+    flow = network.transfer(hosts[0], hosts[-1], 1e7)
+    sim.run(until=sim.now + 0.2)
+    network.sync()
+    assert flow.remaining < 1e7
+    report = network.congestion_report()
+    assert isinstance(report, list)
+
+
+def test_connected_components_partition_flows():
+    paths = {"f1": ["a", "b"], "f2": ["b", "c"], "f3": ["x"], "f4": ["c"]}
+    components = connected_components(paths)
+    assert [sorted(c) for c in components] == [["f1", "f2", "f4"], ["f3"]]

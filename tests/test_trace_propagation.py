@@ -9,7 +9,7 @@ into 504 bodies and budget snapshots, and faults as instant spans.
 import pytest
 
 from repro.core.cloud import PiCloud
-from repro.core.config import PiCloudConfig
+from repro.core.config import PiCloudConfig, TraceConfig
 from repro.errors import DeadlineExceeded, SimBudgetExceeded
 from repro.faults import FaultSchedule
 from repro.mgmt.node_daemon import NODE_DAEMON_PORT
@@ -19,9 +19,9 @@ from repro.telemetry.budget import BudgetTelemetry
 from repro.trace import Tracer
 
 
-def build_cloud(**overrides):
+def build_cloud(tracing=True, **overrides):
     defaults = dict(racks=2, pis=3, start_monitoring=False,
-                    routing="shortest", tracing=True)
+                    routing="shortest", trace=TraceConfig(enabled=tracing))
     defaults.update(overrides)
     cloud = PiCloud(PiCloudConfig.small(**defaults))
     cloud.boot()
