@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import PurePath
 from typing import Optional, Sequence
 
 from repro.core.cloud import PiCloud
@@ -55,6 +56,24 @@ def _add_cloud_arguments(parser: argparse.ArgumentParser) -> None:
                         help="start the pimaster's heartbeat failure "
                              "detector: dead nodes are detected, their "
                              "containers evacuated, repaired nodes rejoin")
+    parser.add_argument("--profile", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="profile the whole command (build + boot + "
+                             "run) with cProfile and write a pstats dump "
+                             "to PATH (default: next to --trace-out, else "
+                             "repro-profile.pstats)")
+
+
+def _resolve_profile_out(args: argparse.Namespace) -> Optional[str]:
+    """Where the pstats dump goes; None when --profile was not given."""
+    profile = getattr(args, "profile", None)
+    if profile is None:
+        return None
+    if profile:
+        return profile
+    if getattr(args, "trace_out", None):
+        return str(PurePath(args.trace_out).with_suffix(".pstats"))
+    return "repro-profile.pstats"
 
 
 def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
@@ -69,6 +88,7 @@ def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
         ),
         trace=TraceConfig(enabled=args.trace_out is not None),
         health=HealthConfig(enabled=args.self_healing),
+        profile_out=_resolve_profile_out(args),
     )
     cloud = PiCloud(config)
     # Remembered so main() can export the trace even when the command
@@ -86,6 +106,15 @@ def _export_trace(args: argparse.Namespace) -> None:
         return
     path = cloud.write_trace(args.trace_out)
     print(f"trace written to {path}", file=sys.stderr)
+
+
+def _export_profile(args: argparse.Namespace) -> None:
+    cloud = getattr(args, "_cloud", None)
+    if cloud is None or cloud.profiler is None:
+        return
+    path = cloud.write_profile()
+    print(f"profile written to {path} "
+          f"(inspect with: python -m pstats {path})", file=sys.stderr)
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -193,6 +222,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     finally:
         _export_trace(args)
+        _export_profile(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -53,6 +53,14 @@ class PiCloud:
 
     def __init__(self, config: Optional[PiCloudConfig] = None) -> None:
         self.config = config or PiCloudConfig()
+        # Profiling starts before any other construction so the dump
+        # covers the full cold start (build + boot), not just the run.
+        self.profiler = None
+        if self.config.profile_out:
+            import cProfile
+
+            self.profiler = cProfile.Profile()
+            self.profiler.enable()
         self.sim = Simulator(budget=self.config.run_budget())
         self.tracer: Optional[Tracer] = None
         if self.config.trace.enabled:
@@ -94,17 +102,24 @@ class PiCloud:
         # -- routing / SDN ---------------------------------------------------
         self.controller: Optional[SdnController] = None
         routing = self.config.routing
+        structured = self.config.structured_routing
         if routing == "shortest":
-            path_service = ShortestPathRouting(self.sim, self.topology)
+            path_service = ShortestPathRouting(
+                self.sim, self.topology, structured=structured
+            )
         elif routing == "ecmp":
-            path_service = EcmpRouting(self.sim, self.topology)
+            path_service = EcmpRouting(
+                self.sim, self.topology, structured=structured
+            )
         else:
             app = {
                 "sdn-shortest": ShortestPathApp(),
                 "sdn-ecmp": EcmpHashApp(),
                 "sdn-least-congested": LeastCongestedPathApp(),
             }[routing]
-            self.controller = SdnController(self.sim, self.topology, app)
+            self.controller = SdnController(
+                self.sim, self.topology, app, structured=structured
+            )
             path_service = OpenFlowPathService(
                 self.sim,
                 self.controller,
@@ -208,16 +223,22 @@ class PiCloud:
         self.kernels[PIMASTER_NODE].netstack.bind_address(pimaster_ip)
 
         # Node daemons, with static (infinite-TTL) management leases.
+        # One batched pass per node -- lease, bind, daemon, enroll -- with
+        # the call chain hoisted out of the loop; at hundreds of nodes the
+        # repeated attribute traversals are a measurable slice of boot.
+        request_lease = self.pimaster.dhcp.request_lease
+        register_node = self.pimaster.register_node
+        kernels = self.kernels
+        daemons = self.daemons
+        op_deadline_s = self.config.op_deadline_s
+        static_ttl = float("inf")
         for name in self.node_names:
-            lease = self.pimaster.dhcp.request_lease(
-                client_id=name, hostname=name, ttl_s=float("inf")
-            )
-            self.kernels[name].netstack.bind_address(lease.ip)
-            daemon = NodeDaemon(
-                self.kernels[name], op_deadline_s=self.config.op_deadline_s
-            )
-            self.daemons[name] = daemon
-            self.pimaster.register_node(daemon, lease.ip)
+            lease = request_lease(client_id=name, hostname=name, ttl_s=static_ttl)
+            kernel = kernels[name]
+            kernel.netstack.bind_address(lease.ip)
+            daemon = NodeDaemon(kernel, op_deadline_s=op_deadline_s)
+            daemons[name] = daemon
+            register_node(daemon, lease.ip)
 
         if self.config.start_monitoring:
             self.pimaster.monitoring.start()
@@ -370,6 +391,22 @@ class PiCloud:
             )
         self.tracer.finish_open_spans()
         return self.tracer.write(path)
+
+    def write_profile(self, path: Optional[str] = None) -> str:
+        """Stop the ``profile_out`` profiler and dump pstats to disk.
+
+        Returns the path written.  The dump covers everything since
+        construction -- build, boot and all simulation run so far -- and
+        is loadable with ``pstats.Stats(path)`` or snakeviz.
+        """
+        if self.profiler is None:
+            raise PiCloudError(
+                "profiling is off; build with PiCloudConfig(profile_out=...)"
+            )
+        self.profiler.disable()
+        target = path or self.config.profile_out
+        self.profiler.dump_stats(target)
+        return target
 
     # -- measurements ------------------------------------------------------------------------
 

@@ -217,6 +217,12 @@ class PiCloudConfig:
     # whole fabric.  False selects the exact-fallback full solve (the
     # pre-optimisation behaviour; same rates, much slower at scale).
     incremental_fairness: bool = True
+    # Structured routing: answer path queries from the analytic fat-tree /
+    # multi-root-tree engine (repro.netsim.structured) instead of per-pair
+    # graph searches.  Both backends return identical paths; False forces
+    # the networkx reference implementation everywhere (debug/verification
+    # knob, also used by the equivalence tests).
+    structured_routing: bool = True
 
     # -- management --------------------------------------------------------------
     subnet: str = "10.0.0.0/16"
@@ -236,6 +242,13 @@ class PiCloudConfig:
     op_deadline_s: float = 1800.0
     op_attempts: int = 3
     op_backoff_s: float = 1.0
+
+    # -- diagnostics ------------------------------------------------------
+    # When set, the cloud starts a cProfile.Profile() at construction
+    # (covering build + boot + everything run afterwards) and
+    # ``write_profile()`` dumps pstats to this path -- the CLI's
+    # ``--profile`` flag plumbs through here and dumps on exit.
+    profile_out: Optional[str] = None
 
     # -- grouped sub-configs ----------------------------------------------
     budget: SimBudgetConfig = field(default_factory=SimBudgetConfig)

@@ -108,6 +108,12 @@ class PiMaster:
         self.placement_policy: PlacementPolicy = placement_policy or FirstFit()
         self._nodes: Dict[str, NodeRecord] = {}
         self._containers: Dict[str, ContainerRecord] = {}
+        # Indexes kept in step with _containers so node_views() does not
+        # rescan every container and every fabric link per node: the
+        # node's access link (found once, lazily) and per-node group
+        # refcounts (anti-affinity placement input).
+        self._access_links: Dict[str, object] = {}
+        self._node_groups: Dict[str, Dict[str, int]] = {}
         self._spawn_seq = 0
         self._destroy_seq = 0
         self.spawns = 0
@@ -250,6 +256,7 @@ class PiMaster:
         record = self._containers.pop(name, None)
         if record is None:
             return
+        self._untrack_group(record)
         node = self._nodes.get(record.node_id)
         if node is not None:
             node.daemon.kernel.netstack.unbind_address(record.ip)
@@ -285,31 +292,59 @@ class PiMaster:
 
     # -- state views for placement ------------------------------------------------
 
+    def _track_group(self, record: ContainerRecord) -> None:
+        if record.group is None:
+            return
+        counts = self._node_groups.setdefault(record.node_id, {})
+        counts[record.group] = counts.get(record.group, 0) + 1
+
+    def _untrack_group(self, record: ContainerRecord) -> None:
+        if record.group is None:
+            return
+        counts = self._node_groups.get(record.node_id)
+        if not counts:
+            return
+        remaining = counts.get(record.group, 0) - 1
+        if remaining > 0:
+            counts[record.group] = remaining
+        else:
+            counts.pop(record.group, None)
+
+    def _access_link(self, node_id: str, daemon: NodeDaemon):
+        """The node's fabric access link, found once and memoised."""
+        try:
+            return self._access_links[node_id]
+        except KeyError:
+            pass
+        found = None
+        for link in daemon.kernel.netstack.fabric.network.links():
+            if node_id in link.endpoints:
+                found = link
+                break
+        self._access_links[node_id] = found
+        return found
+
     def node_views(self) -> list[NodeView]:
         """Current snapshot of every registered node, in node-id order."""
         views = []
+        synced = False
         for node_id in self.node_ids():
             daemon = self._nodes[node_id].daemon
             machine = daemon.kernel.machine
-            groups = tuple(
-                sorted(
-                    {
-                        record.group
-                        for record in self._containers.values()
-                        if record.node_id == node_id and record.group is not None
-                    }
-                )
-            )
+            groups = tuple(sorted(self._node_groups.get(node_id, ())))
             # The host's access-link utilisation, if the fabric knows it.
             uplink = 0.0
-            network = daemon.kernel.netstack.fabric.network
-            for link in network.links():
-                if node_id in link.endpoints:
-                    uplink = max(
-                        link.forward.utilization.value,
-                        link.reverse.utilization.value,
-                    )
-                    break
+            link = self._access_link(node_id, daemon)
+            if link is not None:
+                if not synced:
+                    # Apply any fair-share solve deferred from churn at
+                    # this instant so the utilisation read is current.
+                    daemon.kernel.netstack.fabric.network.sync()
+                    synced = True
+                uplink = max(
+                    link.forward.utilization.value,
+                    link.reverse.utilization.value,
+                )
             views.append(
                 NodeView(
                     node_id=node_id,
@@ -497,6 +532,7 @@ class PiMaster:
                 group=group,
             )
             self._containers[container_name] = container_record
+            self._track_group(container_record)
             self.spawns += 1
             span.end("ok")
             done.succeed(container_record)
@@ -533,6 +569,7 @@ class PiMaster:
                 return
             self.dns.unregister(name)
             self.dhcp.release(name)
+            self._untrack_group(record)
             del self._containers[name]
             span.end("ok")
             done.succeed(name)
@@ -608,7 +645,9 @@ class PiMaster:
                 span.end("error", str(exc))
                 done.fail(ManagementError(f"migration of {name!r} failed: {exc}"))
                 return
+            self._untrack_group(record)
             record.node_id = destination
+            self._track_group(record)
             if reassign_ip:
                 try:
                     old_ip = record.ip

@@ -21,6 +21,7 @@ import inspect
 import json
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import trace
@@ -88,7 +89,10 @@ class RestResponse:
 _PARAM_RE = re.compile(r"\{(\w+)\}")
 
 
+@lru_cache(maxsize=None)
 def _compile(pattern: str) -> re.Pattern:
+    # Every node daemon registers the same route table, so compile each
+    # pattern once per process instead of once per daemon at boot.
     regex = _PARAM_RE.sub(r"(?P<\1>[^/]+)", pattern.rstrip("/") or "/")
     return re.compile(f"^{regex}$")
 
@@ -131,10 +135,12 @@ class RestServer:
         self._routes.append((method.upper(), _compile(pattern), handler))
 
     def _match(self, method: str, path: str) -> Optional[Tuple[Callable, Dict[str, str]]]:
+        method = method.upper()
+        target = path.rstrip("/") or "/"
         for route_method, regex, handler in self._routes:
-            if route_method != method.upper():
+            if route_method != method:
                 continue
-            match = regex.match(path.rstrip("/") or "/")
+            match = regex.match(target)
             if match is not None:
                 return handler, match.groupdict()
         return None

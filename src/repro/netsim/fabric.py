@@ -17,6 +17,19 @@ bit-identical to the corresponding slice of a full solve; rates, bytes
 and congestion accounting cannot drift.  Pass ``incremental=False`` for
 the exact-fallback path that re-solves everything on every event (the
 pre-optimisation behaviour, kept for cross-checking and benchmarks).
+
+Solves are additionally *coalesced within a simulated instant*: churn
+marks state dirty and arms one low-priority kernel event at the current
+timestamp; the actual solve runs once, after every same-instant churn
+event has been dispatched.  Because simulated time does not advance
+between the churn and the solve, no byte accounting can be missed --
+``_settle`` over a zero-length window moves nothing -- so rates at every
+clock *boundary* are identical to solving eagerly.  What the coalescing
+removes is the O(burst) re-solve per event when e.g. a monitoring sweep
+starts hundreds of flows at the same instant, which used to make fleet
+boot quadratic in burst size.  Readers that want rates mid-instant
+(reports, placement) go through :meth:`Network.sync` /
+:meth:`Network.congestion_report`, which flush any pending solve first.
 """
 
 from __future__ import annotations
@@ -138,6 +151,9 @@ class Network:
         # changed and flows whose constraints changed since the last solve.
         self._dirty_directions: set[LinkDirection] = set()
         self._dirty_flows: set[FlowTransfer] = set()
+        # The one deferred solve armed for the current instant (None when
+        # no churn is pending).  See the module docstring on coalescing.
+        self._solve_event: Optional[Event] = None
         # Cumulative solver effort counters (benchmark/diagnostic aid):
         # how many flow-rate assignments each recompute performed.
         self.recomputes = 0
@@ -186,7 +202,7 @@ class Network:
             self._fail_flow(
                 flow, ConnectionResetError(f"link {a}<->{b} failed mid-transfer")
             )
-        self._recompute()
+        self._request_solve()
 
     def repair_link(self, a: str, b: str) -> None:
         link = self.link(a, b)
@@ -282,7 +298,7 @@ class Network:
         for direction in flow.directions:
             direction.flows.add(flow)
             self._dirty_directions.add(direction)
-        self._recompute()
+        self._request_solve()
 
     def reroute(self, flow: FlowTransfer, new_path: List[str]) -> None:
         """Move an active flow onto a different path (SDN TE hook)."""
@@ -303,9 +319,35 @@ class Network:
         for direction in directions:
             direction.flows.add(flow)
             self._dirty_directions.add(direction)
-        self._recompute()
+        self._request_solve()
 
     # -- the fluid model ----------------------------------------------------------
+
+    def _request_solve(self) -> None:
+        """Arm the one deferred solve for the current instant.
+
+        Churn handlers call this instead of solving inline; the solve
+        runs as a priority-1 kernel event at ``sim.now``, after every
+        same-instant priority-0 event (including churn the first piece
+        triggered transitively) has been dispatched.  An armed event is
+        always at the current instant -- the kernel fires it before the
+        clock can advance -- so one pending event covers all callers.
+        """
+        if self._solve_event is None:
+            self._solve_event = self.sim.schedule(0.0, self._run_solve, priority=1)
+
+    def _run_solve(self) -> None:
+        self._solve_event = None
+        self._recompute()
+
+    def _flush_solve(self) -> None:
+        """Run any pending deferred solve now (same instant, so exact)."""
+        event = self._solve_event
+        if event is None:
+            return
+        event.cancel()
+        self._solve_event = None
+        self._recompute()
 
     def _settle(self, flow: FlowTransfer) -> None:
         """Bring a flow's remaining-bytes up to date with the clock."""
@@ -381,28 +423,37 @@ class Network:
         }
         rates = max_min_rates(flow_paths, capacities, rate_caps)
 
+        now = self.sim.now
         for flow in flows:
             new_rate = rates[flow]
-            if (
-                new_rate == flow.rate
-                and flow._completion_event is not None
-                and not flow._completion_event.cancelled
-            ):
+            event = flow._completion_event
+            if new_rate == flow.rate and event is not None and not event.cancelled:
                 # Unchanged rate: the pending completion event was
                 # computed from the same rate history, so its firing
-                # time is still exact -- skip the cancel/reschedule.
+                # time is still valid -- skip the cancel/reschedule.
                 continue
             flow.rate = new_rate
-            if flow._completion_event is not None:
-                flow._completion_event.cancel()
+            if new_rate > 0 and math.isfinite(new_rate):
+                due = now + flow.remaining / new_rate
+            elif math.isinf(new_rate):
+                due = now
+            else:
+                due = math.inf  # stalled: next capacity-freeing solve re-arms
+            if event is not None and not event.cancelled and event.time <= due:
+                # The pending event fires at or before the new completion
+                # time.  An early wakeup is harmless -- _complete settles
+                # the flow and re-arms for the residue -- so only a rate
+                # *increase* (completion moving earlier) forces a
+                # reschedule.  Slowdowns, the common case in a churn
+                # burst, keep their event and leave no heap tombstone.
+                continue
+            if event is not None:
+                event.cancel()
                 flow._completion_event = None
-            if flow.rate > 0 and math.isfinite(flow.rate):
-                eta = flow.remaining / flow.rate
-                flow._completion_event = self.sim.schedule(eta, self._complete, flow)
-            elif math.isinf(flow.rate):
-                flow._completion_event = self.sim.schedule(0.0, self._complete, flow)
-            # rate == 0: stalled (no capacity); it will be rescheduled by
-            # the next recompute that frees capacity.
+            if math.isfinite(due):
+                flow._completion_event = self.sim.schedule_at(
+                    due, self._complete, flow
+                )
 
         # Refresh loads and congestion accounting on touched directions
         # only: an untouched direction's aggregate rate cannot have moved.
@@ -447,6 +498,10 @@ class Network:
                 # zero bytes, and the flow would re-arm itself forever.
                 # Deliver the sub-resolution residue now instead.
             else:
+                # Stalled flow: drop the reference to this (already fired)
+                # event so the next solve doesn't mistake it for a pending
+                # completion, and wait for capacity to free up.
+                flow._completion_event = None
                 return
         flow.remaining = 0.0
         flow.state = FlowState.DONE
@@ -455,9 +510,10 @@ class Network:
         self.flows_completed.add()
         self.bytes_delivered.add(flow.size)
         self.flow_durations.record(self.sim.now, flow.duration or 0.0)
-        # Re-solve rates *before* waking waiters, so code resumed by this
-        # completion observes post-completion link loads.
-        self._recompute()
+        # The freed capacity is handed out by the deferred solve at this
+        # same instant; waiters that need post-completion loads mid-instant
+        # read them through sync()/congestion_report(), which flush it.
+        self._request_solve()
         flow.span.end("ok")
         for observer in self.flow_observers:
             observer(flow)
@@ -475,7 +531,7 @@ class Network:
             observer(flow)
         flow.done.fail(exc)
         if was_active:
-            self._recompute()
+            self._request_solve()
 
     def _detach(self, flow: FlowTransfer) -> None:
         self._active.discard(flow)
@@ -502,7 +558,10 @@ class Network:
         The incremental solver settles only the flows a churn event
         touched; call this before reading byte counters mid-run so
         long-lived untouched flows are accounted up to ``sim.now`` too.
+        Also flushes any solve deferred from churn at the current
+        instant, so rates and link loads read afterwards are current.
         """
+        self._flush_solve()
         for flow in sorted(self._active, key=lambda f: f.flow_id):
             self._settle(flow)
 

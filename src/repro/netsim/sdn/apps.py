@@ -28,7 +28,13 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import Timeout
 
 
-def _all_shortest(graph: nx.Graph, src: str, dst: str) -> List[List[str]]:
+def _all_shortest(
+    graph: nx.Graph, src: str, dst: str, controller=None
+) -> List[List[str]]:
+    """All shortest paths, sorted: from the controller's structured path
+    cache when one is attached, else a direct graph search."""
+    if controller is not None:
+        return controller.paths.shortest_paths(src, dst)
     try:
         return sorted([list(p) for p in nx.all_shortest_paths(graph, src, dst)])
     except (nx.NetworkXNoPath, nx.NodeNotFound):
@@ -39,14 +45,14 @@ class ShortestPathApp:
     """Always the lexicographically-first shortest path (static baseline)."""
 
     def compute_path(self, graph, src, dst, flow_key, controller):
-        return _all_shortest(graph, src, dst)[0]
+        return _all_shortest(graph, src, dst, controller)[0]
 
 
 class EcmpHashApp:
     """Hash the flow key across all equal-cost shortest paths."""
 
     def compute_path(self, graph, src, dst, flow_key, controller):
-        paths = _all_shortest(graph, src, dst)
+        paths = _all_shortest(graph, src, dst, controller)
         digest = hashlib.sha256(repr((src, dst, flow_key)).encode()).digest()
         return paths[int.from_bytes(digest[:4], "big") % len(paths)]
 
@@ -64,7 +70,7 @@ class LeastCongestedPathApp:
         self.extra_paths = extra_paths
 
     def compute_path(self, graph, src, dst, flow_key, controller):
-        candidates = _all_shortest(graph, src, dst)
+        candidates = _all_shortest(graph, src, dst, controller)
         if self.extra_paths > 0:
             try:
                 longer = islice(
@@ -80,6 +86,9 @@ class LeastCongestedPathApp:
         network: Optional[Network] = controller.network
         if network is None:
             return candidates[0]
+        # Rates from churn earlier in this same instant are applied by a
+        # deferred solve; flush it so the scores below read current loads.
+        network.sync()
 
         def worst_utilization(path: List[str]) -> float:
             worst = 0.0
@@ -127,13 +136,15 @@ class ElephantRerouter:
             self._scan_once()
 
     def _scan_once(self) -> None:
-        graph = self.controller.working_graph()
+        self.network.sync()
         for flow in self._elephants_on_hot_links():
+            # Each reroute defers its fair-share solve to the end of the
+            # instant; flush so this iteration scores *post*-reroute loads
+            # instead of re-stacking flows onto a link that only looks idle.
+            self.network.sync()
             try:
-                candidates = sorted(
-                    [list(p) for p in nx.all_shortest_paths(graph, flow.src, flow.dst)]
-                )
-            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                candidates = self.controller.paths.shortest_paths(flow.src, flow.dst)
+            except NoRouteError:
                 continue
 
             def worst(path: List[str]) -> float:

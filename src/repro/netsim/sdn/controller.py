@@ -21,12 +21,12 @@ gateway but control traffic is negligible at flow granularity).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Protocol
+from typing import Dict, Hashable, List, Protocol
 
 import networkx as nx
 
 from repro.errors import NoRouteError
-from repro.netsim.routing import path_links
+from repro.netsim.routing import PathCache, path_links
 from repro.netsim.sdn.openflow import OpenFlowSwitch
 from repro.netsim.topology import Topology
 from repro.sim.kernel import Simulator
@@ -51,7 +51,10 @@ class RoutingApp(Protocol):
 class SdnController:
     """Logically-centralised control: topology view + switch handles + app."""
 
-    def __init__(self, sim: Simulator, topology: Topology, app: RoutingApp) -> None:
+    def __init__(
+        self, sim: Simulator, topology: Topology, app: RoutingApp,
+        structured: bool = True,
+    ) -> None:
         self.sim = sim
         self.topology = topology
         self.app = app
@@ -60,8 +63,10 @@ class SdnController:
             for node in topology.switches()
             if topology.is_openflow(node)
         }
-        self._down_edges: set[frozenset] = set()
-        self._graph_cache: Optional[nx.Graph] = None
+        # The controller's topology view: structured path groups over a
+        # working graph patched in place per link event.  Apps answer
+        # PacketIns from these caches instead of re-searching the graph.
+        self.paths = PathCache(topology, structured)
         self.network = None  # attached after Network construction
         self.packet_in_count = 0
         self.flow_mod_count = 0
@@ -73,28 +78,17 @@ class SdnController:
     # -- topology view ---------------------------------------------------------
 
     def mark_link(self, a: str, b: str, up: bool) -> None:
-        edge = frozenset((a, b))
-        if up:
-            self._down_edges.discard(edge)
-        else:
-            self._down_edges.add(edge)
+        self.paths.mark_link(a, b, up)
+        if not up:
             # Purge rules that forward into the dead link.
             for node in (a, b):
                 switch = self.switches.get(node)
                 if switch is not None:
                     other = b if node == a else a
                     switch.table.remove_via(other)
-        self._graph_cache = None
 
     def working_graph(self) -> nx.Graph:
-        if self._graph_cache is None:
-            graph = self.topology.graph.copy()
-            for edge in self._down_edges:
-                a, b = tuple(edge)
-                if graph.has_edge(a, b):
-                    graph.remove_edge(a, b)
-            self._graph_cache = graph
-        return self._graph_cache
+        return self.paths.graph
 
     # -- control-plane operations -------------------------------------------------
 
@@ -210,7 +204,6 @@ class OpenFlowPathService:
 
     def invalidate(self) -> None:
         self._installed_paths.clear()
-        self.controller._graph_cache = None
 
     def mark_link(self, a: str, b: str, up: bool) -> None:
         """Fabric hook: propagate link state into the controller's view."""

@@ -1,0 +1,190 @@
+"""Analytic shortest paths for the regular PiCloud fabrics.
+
+The paper's topologies are strictly *layered*: hosts (level 0) hang off
+ToR/edge switches (level 1), ToRs cable to aggregation switches (level
+2), and aggregation cables up to cores or the gateway border router
+(level 3).  Every cable joins adjacent levels, and every host has
+exactly one access cable.  In such a graph a shortest switch-to-switch
+path is severely constrained: a walk whose level steps are all +-1 and
+whose length equals ``2L - lu - lv`` (the floor for peak level ``L``)
+has zero slack, so it climbs monotonically from ``u`` to one peak at
+level ``L`` and descends monotonically to ``v``.  That makes the full
+shortest-path *set* between two attach switches enumerable from the
+up-neighbour lists alone -- no per-pair breadth-first search.
+
+:class:`StructuredPaths` performs that enumeration for the pristine
+(no-failures) wiring and only for pairs where it can *prove* the
+enumeration is complete:
+
+* ``u == v`` -- the trivial path.
+* two ToRs sharing an aggregation switch -- ``u-x-v`` for every shared
+  ``x`` (length 2 is the absolute floor; no other shape fits).
+* two ToRs in *different* connected components of the level-<=2
+  subgraph (distinct fat-tree pods) -- every path between them must
+  peak at level 3, and at the minimal length that peak is unique and
+  the path monotone, so ``u-a-w-b-v`` over common reachable cores is
+  the complete set.
+* a ToR and a level-3 switch it can reach monotonically (the pimaster's
+  attach point) -- all length-2 paths are ``u-a-v``.
+
+Everything else -- same-component ToRs with no shared aggregation,
+level-2 attach points, non-layered wiring -- returns ``None`` and the
+caller falls back to networkx on the working graph, so irregular
+topologies lose speed, never correctness.
+
+The routing services in :mod:`repro.netsim.routing` combine these
+pristine groups with a failed-link filter: a subgraph cannot contain
+*shorter* paths than its supergraph, so the working graph's shortest
+paths are exactly the pristine shortest paths that avoid failed links
+-- whenever that filtered set is non-empty.  An emptied filter falls
+back to networkx too, preserving exactness under arbitrary failure
+sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.topology import (
+    AGGREGATION,
+    CORE,
+    GATEWAY,
+    HOST,
+    TOR,
+    Topology,
+)
+
+_LEVELS = {TOR: 1, AGGREGATION: 2, CORE: 3, GATEWAY: 3}
+
+
+class StructuredPaths:
+    """Pristine shortest-path groups for a strictly layered fabric.
+
+    Built once per topology via :meth:`build` (which returns ``None``
+    for wiring the layered model does not fit); thereafter
+    :meth:`group` answers attach-switch pairs from a permanent cache --
+    the pristine wiring never changes, so entries are never evicted.
+    """
+
+    def __init__(
+        self,
+        levels: Dict[str, int],
+        attach: Dict[str, str],
+        up: Dict[str, Tuple[str, ...]],
+        component: Dict[str, int],
+    ) -> None:
+        self.levels = levels
+        self.attach = attach
+        self._up = up
+        self._component = component
+        self._groups: Dict[Tuple[str, str], Optional[List[List[str]]]] = {}
+
+    @classmethod
+    def build(cls, topology: Topology) -> Optional["StructuredPaths"]:
+        """Analyze a topology; ``None`` if it is not strictly layered."""
+        graph = topology.graph
+        levels: Dict[str, int] = {}
+        for node, data in graph.nodes(data=True):
+            if data["kind"] != HOST:
+                levels[node] = _LEVELS[data["kind"]]
+
+        attach: Dict[str, str] = {}
+        for node, data in graph.nodes(data=True):
+            if data["kind"] != HOST:
+                continue
+            neighbours = list(graph[node])
+            if len(neighbours) != 1 or neighbours[0] not in levels:
+                return None  # multi-homed host or host-host cable
+            if levels[neighbours[0]] == 2:
+                # A level-2 attach point admits equal-length over-the-top
+                # and under-the-bottom paths; the enumeration would miss
+                # half the set.
+                return None
+            attach[node] = neighbours[0]
+
+        up: Dict[str, List[str]] = {switch: [] for switch in levels}
+        low_adjacency: Dict[str, List[str]] = {}
+        for a, b in graph.edges():
+            if a not in levels or b not in levels:
+                continue  # host access cable
+            la, lb = levels[a], levels[b]
+            if abs(la - lb) != 1:
+                return None  # not strictly layered
+            lower, upper = (a, b) if la < lb else (b, a)
+            up[lower].append(upper)
+            if levels[upper] <= 2:
+                low_adjacency.setdefault(lower, []).append(upper)
+                low_adjacency.setdefault(upper, []).append(lower)
+
+        frozen_up = {switch: tuple(sorted(nbrs)) for switch, nbrs in up.items()}
+
+        # Connected components of the level-<=2 switch subgraph: two ToRs
+        # in different components can only meet at level 3, which is what
+        # proves their shortest paths monotone (see module docstring).
+        component: Dict[str, int] = {}
+        next_id = 0
+        for switch in sorted(s for s, lvl in levels.items() if lvl <= 2):
+            if switch in component:
+                continue
+            stack = [switch]
+            component[switch] = next_id
+            while stack:
+                node = stack.pop()
+                for neighbour in low_adjacency.get(node, ()):
+                    if neighbour not in component:
+                        component[neighbour] = next_id
+                        stack.append(neighbour)
+            next_id += 1
+
+        return cls(levels, attach, frozen_up, component)
+
+    # -- enumeration -------------------------------------------------------
+
+    def group(self, u: str, v: str) -> Optional[List[List[str]]]:
+        """All shortest ``u -> v`` switch paths in the pristine fabric.
+
+        Sorted lexicographically.  ``None`` means the enumeration cannot
+        prove completeness for this pair; the caller must fall back to a
+        graph search.
+        """
+        key = (u, v)
+        try:
+            return self._groups[key]
+        except KeyError:
+            pass
+        paths = self._compute(u, v)
+        self._groups[key] = paths
+        return paths
+
+    def _compute(self, u: str, v: str) -> Optional[List[List[str]]]:
+        if u == v:
+            return [[u]]
+        lu, lv = self.levels[u], self.levels[v]
+        if lu == 1 and lv == 1:
+            shared = set(self._up[u]) & set(self._up[v])
+            if shared:
+                return [[u, x, v] for x in sorted(shared)]
+            if self._component.get(u) == self._component.get(v):
+                # Same component but no shared aggregation: equal-length
+                # multi-peak detours below level 3 may exist.
+                return None
+            paths = [
+                [u, a, w, b, v]
+                for a in self._up[u]
+                for w in self._up[a]
+                for b in self._up[v]
+                if w in self._up[b]
+            ]
+            return sorted(paths) if paths else None
+        if lu == 1 and lv == 3:
+            paths = [[u, a, v] for a in self._up[u] if v in self._up[a]]
+            return paths if paths else None  # _up is sorted: paths are too
+        if lu == 3 and lv == 1:
+            down = self._compute(v, u)
+            if not down:
+                return down
+            return sorted(list(reversed(path)) for path in down)
+        # Distinct level-3 switches meet through valleys; level-2
+        # endpoints were excluded at build time but a switch itself can
+        # still be asked for.  Both are graph-search territory.
+        return None

@@ -99,7 +99,10 @@ class Simulator:
 
     def __init__(self, budget: Optional[RunBudget] = None) -> None:
         self._now = 0.0
-        self._queue: list[Event] = []
+        # Heap entries are (time, priority, seq, event) tuples: seq is
+        # unique, so ordering never falls through to comparing Event
+        # objects and every heap operation compares at C speed.
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
@@ -170,8 +173,8 @@ class Simulator:
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
         event = Event(time, priority, self._seq, callback, args)
+        heapq.heappush(self._queue, (time, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._queue, event)
         if (self._seq & self.COMPACT_CHECK_MASK) == 0:
             self._maybe_compact()
         return event
@@ -181,7 +184,7 @@ class Simulator:
         queue = self._queue
         if len(queue) < self.COMPACT_MIN_QUEUE:
             return
-        live = [e for e in queue if not e.cancelled]
+        live = [entry for entry in queue if not entry[3].cancelled]
         if len(live) * 2 > len(queue):
             return
         heapq.heapify(live)
@@ -197,9 +200,9 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False if none remained.
@@ -211,7 +214,7 @@ class Simulator:
         """
         if self.peek() is None:
             return False
-        event = self._queue[0]
+        event = self._queue[0][3]
         budget = self.budget
         if budget is not None:
             if (budget.max_events is not None
@@ -287,14 +290,13 @@ class Simulator:
                         self.watchdog_trips += 1
                         self._trip(effective, "wall_clock",
                                    time.monotonic() - wall_start)
-                while queue and queue[0].cancelled:
+                while queue and queue[0][3].cancelled:
                     heappop(queue)
                 if not queue:
                     if until is not None and until > self._now:
                         self._now = until
                     return
-                event = queue[0]
-                next_time = event.time
+                next_time, _, _, event = queue[0]
                 if until is not None and next_time > until:
                     self._now = until
                     return
@@ -336,8 +338,8 @@ class Simulator:
     def snapshot(self, reason: str = "inspect",
                  wall_elapsed_s: float = 0.0, head: int = 8) -> BudgetSnapshot:
         """Capture the kernel's diagnostic state (cheap; safe anytime)."""
-        pending = [e for e in self._queue if not e.cancelled]
-        pending.sort()
+        pending = [entry[3] for entry in sorted(self._queue)
+                   if not entry[3].cancelled]
         return BudgetSnapshot(
             reason=reason,
             now=self._now,
@@ -363,7 +365,7 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of non-cancelled events still queued (O(n); for tests)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return sum(1 for entry in self._queue if not entry[3].cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self._now:.6f} queued={len(self._queue)}>"

@@ -1,0 +1,244 @@
+"""Structured vs networkx path-service equivalence.
+
+The structured engine (repro.netsim.structured) must be a pure
+optimisation: for every topology it claims, every endpoint pair, and
+every link-failure state, it has to return exactly the paths the
+networkx reference computes on the working graph -- including agreeing
+on when there is *no* route.  These tests drive both backends through
+identical pristine queries, randomized link-flap sequences, and a full
+same-seed cloud run whose trace export must be byte-identical.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import PiCloud, PiCloudConfig
+from repro.core.config import TraceConfig
+from repro.errors import NoRouteError
+from repro.netsim.routing import EcmpRouting, PathCache, ShortestPathRouting
+from repro.netsim.topology import (
+    fat_tree,
+    multi_root_tree,
+    rack_host_names,
+    single_switch,
+)
+from repro.placement import WorstFit
+from repro.sim.kernel import Simulator
+from repro.units import kib, mbit_per_s, usec
+
+
+def _fat_tree_with_head(k=4, hosts=None):
+    """A fat-tree plus a pimaster-style host on core0 (the real wiring)."""
+    topo = fat_tree(k, hosts=hosts)
+    topo.add_host("head")
+    topo.connect("head", "core0", mbit_per_s(100), usec(50))
+    return topo
+
+
+def _multi_root(racks=3, pis=2, roots=2):
+    return multi_root_tree(rack_host_names(racks, pis), num_roots=roots)
+
+
+def _paths_or_none(service, src, dst):
+    try:
+        return service.shortest_paths(src, dst)
+    except NoRouteError:
+        return None
+
+
+def _hosts(topo):
+    return sorted(topo.hosts())
+
+
+class TestBackendSelection:
+    def test_regular_fabrics_get_the_structured_engine(self):
+        sim = Simulator()
+        for topo in (_fat_tree_with_head(), _multi_root(),
+                     single_switch(["a", "b"])):
+            assert EcmpRouting(sim, topo).backend == "structured"
+
+    def test_structured_false_forces_networkx(self):
+        sim = Simulator()
+        service = EcmpRouting(sim, _fat_tree_with_head(), structured=False)
+        assert service.backend == "networkx"
+
+    def test_irregular_wiring_falls_back_to_networkx(self):
+        # A ToR-to-ToR cross cable breaks the strict layering; the
+        # engine must refuse the whole topology, not guess.
+        topo = _multi_root()
+        topo.connect("tor0", "tor1", mbit_per_s(100), usec(50))
+        assert EcmpRouting(Simulator(), topo).backend == "networkx"
+
+    def test_multi_homed_host_falls_back_to_networkx(self):
+        topo = _multi_root()
+        host = _hosts(topo)[0]
+        topo.connect(host, "tor1", mbit_per_s(100), usec(50))
+        assert EcmpRouting(Simulator(), topo).backend == "networkx"
+
+
+class TestPristineEquivalence:
+    @pytest.mark.parametrize("make_topo", [_fat_tree_with_head, _multi_root])
+    def test_all_pairs_shortest_path_sets_agree(self, make_topo):
+        topo = make_topo()
+        sim = Simulator()
+        structured = ShortestPathRouting(sim, topo, structured=True)
+        reference = ShortestPathRouting(sim, topo, structured=False)
+        assert structured.backend == "structured"
+        endpoints = _hosts(topo) + ["tor0" if "tor0" in topo.graph else "p0-edge0"]
+        for src, dst in itertools.permutations(endpoints, 2):
+            assert structured.shortest_paths(src, dst) == \
+                reference.shortest_paths(src, dst), (src, dst)
+
+    def test_resolve_picks_identical_paths_and_hash_spread(self):
+        topo = _fat_tree_with_head()
+        sim = Simulator()
+        structured = EcmpRouting(sim, topo, structured=True)
+        reference = EcmpRouting(sim, topo, structured=False)
+        hosts = _hosts(topo)
+        picked = set()
+        for src, dst in itertools.islice(itertools.permutations(hosts, 2), 40):
+            for key in range(4):
+                a = structured.resolve(src, dst, key).value
+                b = reference.resolve(src, dst, key).value
+                assert a == b
+                picked.add(tuple(a))
+        # Sanity: the hash really spreads across equal-cost paths.
+        assert len(picked) > len(hosts)
+
+    def test_single_shortest_is_lexicographically_first(self):
+        topo = _multi_root(roots=3)
+        sim = Simulator()
+        service = ShortestPathRouting(sim, topo)
+        path = service.resolve("pi-r0-n0", "pi-r1-n0").value
+        assert path == ["pi-r0-n0", "tor0", "agg0", "tor1", "pi-r1-n0"]
+
+
+def _flap_step(rng, topo, services, down):
+    """Flip one random link on every service; mirror the down set."""
+    a, b = rng.choice(sorted(topo.graph.edges()))
+    edge = frozenset((a, b))
+    up = edge in down
+    (down.discard if up else down.add)(edge)
+    for service in services:
+        service.mark_link(a, b, up)
+
+
+class TestLinkFlapEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_flap_sequences_agree(self, seed):
+        rng = random.Random(seed)
+        if seed % 2:
+            topo = _fat_tree_with_head(
+                hosts=[f"h{i}" for i in range(rng.randint(4, 16))]
+            )
+            switches = ["p0-edge0", "p1-agg0", "core0", "core3"]
+        else:
+            topo = _multi_root(
+                racks=rng.randint(2, 4), pis=rng.randint(1, 3),
+                roots=rng.randint(1, 3),
+            )
+            switches = ["tor0", "agg0", "gateway"]
+        sim = Simulator()
+        structured = EcmpRouting(sim, topo, structured=True)
+        reference = EcmpRouting(sim, topo, structured=False)
+        assert structured.backend == "structured"
+        endpoints = _hosts(topo) + switches
+        down = set()
+        for _ in range(30):
+            _flap_step(rng, topo, (structured, reference), down)
+            for _ in range(8):
+                src, dst = rng.sample(endpoints, 2)
+                expected = _paths_or_none(reference, src, dst)
+                assert _paths_or_none(structured, src, dst) == expected, (
+                    seed, src, dst, sorted(tuple(sorted(e)) for e in down),
+                )
+                if expected:
+                    key = rng.randrange(100)
+                    assert structured.resolve(src, dst, key).value == \
+                        reference.resolve(src, dst, key).value
+
+    def test_access_link_failure_is_no_route_for_that_host_only(self):
+        topo = _multi_root()
+        sim = Simulator()
+        structured = EcmpRouting(sim, topo)
+        reference = EcmpRouting(sim, topo, structured=False)
+        victim, bystander = "pi-r0-n0", "pi-r0-n1"
+        for service in (structured, reference):
+            service.mark_link(victim, "tor0", up=False)
+        for service in (structured, reference):
+            with pytest.raises(NoRouteError):
+                service.shortest_paths(victim, "pi-r1-n0")
+            with pytest.raises(NoRouteError):
+                service.shortest_paths("pi-r1-n0", victim)
+        assert structured.shortest_paths(bystander, "pi-r1-n0") == \
+            reference.shortest_paths(bystander, "pi-r1-n0")
+
+    def test_repair_restores_the_pristine_path_set(self):
+        topo = _fat_tree_with_head()
+        sim = Simulator()
+        service = EcmpRouting(sim, topo)
+        pristine = service.shortest_paths("h0", "h4")
+        service.mark_link("p0-agg0", "core0", up=False)
+        degraded = service.shortest_paths("h0", "h4")
+        assert degraded != pristine
+        assert all(["p0-agg0", "core0"] != p[2:4] for p in degraded)
+        service.mark_link("p0-agg0", "core0", up=True)
+        assert service.shortest_paths("h0", "h4") == pristine
+
+    def test_failure_only_evicts_affected_pairs(self):
+        topo = _fat_tree_with_head()
+        cache = PathCache(topo)
+        # Warm two pairs whose paths share no link: h0/h1 stay inside
+        # pod 0's edge switch, h8's pod-2 traffic never touches it.
+        intra = cache.shortest_paths("h0", "h1")
+        cross = cache.shortest_paths("h0", "h8")
+        live_before = dict(cache._live_groups)
+        cache.mark_link("p2-agg0", "core0", up=False)
+        # The intra-pod entry survived the eviction untouched...
+        assert cache.shortest_paths("h0", "h1") == intra
+        assert any(key in cache._live_groups for key in live_before)
+        # ...while the cross-pod set lost the failed link's paths.
+        filtered = cache.shortest_paths("h0", "h8")
+        assert filtered != cross
+        assert set(map(tuple, filtered)) < set(map(tuple, cross))
+
+
+class TestCloudTraceEquivalence:
+    """Acceptance: same seed, same workload, byte-identical traces."""
+
+    def _run(self, tmp_path, routing, structured):
+        config = PiCloudConfig(
+            num_racks=2, pis_per_rack=3,
+            topology="fat-tree", fat_tree_k=4,
+            routing=routing, seed=7,
+            structured_routing=structured,
+            trace=TraceConfig(enabled=True),
+        )
+        cloud = PiCloud(config)
+        cloud.boot()
+        records = [
+            cloud.spawn_and_wait("base", name=f"c{i}", policy=WorstFit())
+            for i in range(4)
+        ]
+        for receiver in records[2:]:
+            cloud.container(receiver.name).listen(9000)
+        for sender, receiver in zip(records[:2], records[2:]):
+            src = cloud.container(sender.name)
+            for chunk in range(3):
+                src.send(receiver.ip, 9000, f"chunk{chunk}", size=kib(256))
+        cloud.run_for(5.0)
+        cloud.fail_link("p0-agg0", "core0")
+        cloud.run_for(5.0)
+        cloud.repair_link("p0-agg0", "core0")
+        cloud.run_for(5.0)
+        out = tmp_path / f"{routing}-{structured}.json"
+        cloud.write_trace(str(out))
+        return out.read_bytes()
+
+    @pytest.mark.parametrize("routing", ["ecmp", "shortest", "sdn-ecmp"])
+    def test_trace_bytes_identical_across_backends(self, tmp_path, routing):
+        fast = self._run(tmp_path, routing, structured=True)
+        reference = self._run(tmp_path, routing, structured=False)
+        assert fast == reference
