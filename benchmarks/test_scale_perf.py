@@ -1,52 +1,35 @@
-"""Simulator throughput at 10x paper scale (the PR's headline numbers).
+"""Simulator throughput at 10x paper scale (the perf headline numbers).
 
 Runs the consolidation-vs-congestion scenario (spread chatty container
 pairs -> consolidate -> measure) on fat-tree clouds of 56, 224 and 896
 nodes, recording wall-clock and kernel events/second into
 ``BENCH_perf.json`` at the repo root.  At 224 nodes the scenario is run
 twice -- incremental fair-share solver on and off -- and the speedup is
-asserted, pinning the optimisation this PR exists for.
+asserted, pinning the optimisation PR 4 exists for.
+
+The measurement body lives in
+:func:`repro.campaign.scenarios.measure_scale`, shared with the
+``scale_perf`` campaign scenario -- so ``specs/perf_224.yaml`` (CI's
+``perf-smoke`` job) and this benchmark measure the exact same workload,
+and ``benchmarks/compare_baseline.py`` can gate a campaign result store
+against the committed ``BENCH_perf.json``.
 
 Scale selection (CI runs just the 224-node comparison):
 
     SCALE_PERF_SCALES=224 pytest benchmarks/test_scale_perf.py -s
-
-The committed ``BENCH_perf.json`` is the regression baseline for the CI
-``perf-smoke`` job: it fails only when the 224-node wall-clock regresses
-by more than 2x, so noisy runners don't block merges.
 """
 
 import json
 import os
-import random
-import time
 from pathlib import Path
 
 import pytest
 
-from repro.core import PiCloud, PiCloudConfig
-from repro.apps import OnOffTrafficSource
-from repro.placement import Consolidator, WorstFit
-from repro.units import kib
+from repro.campaign.scenarios import SCALES, measure_scale
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_PATH = REPO_ROOT / "BENCH_perf.json"
 
-# nodes -> (racks, pis_per_rack, fat-tree k).  k**3/4 must hold the nodes.
-SCALES = {
-    56: (4, 14, 8),
-    224: (16, 14, 10),
-    896: (64, 14, 16),
-}
-# Chatty container pairs per scale: enough concurrent flows to make the
-# fair-share solver the hot path, bounded so the 896-node run stays in
-# CI-able territory (each spawn costs a fleet-wide placement scan --
-# O(nodes) REST exchanges -- which both solver modes pay identically).
-PAIRS = {56: 6, 224: 12, 896: 16}
-
-WARMUP_S = 30.0
-SETTLE_S = 60.0
-MEASURE_S = 30.0
 MIN_SPEEDUP_224 = 3.0
 
 
@@ -55,84 +38,6 @@ def _selected_scales():
     if not raw:
         return sorted(SCALES)
     return sorted(int(s) for s in raw.split(","))
-
-
-def _build(nodes: int, incremental: bool) -> PiCloud:
-    racks, pis, k = SCALES[nodes]
-    config = PiCloudConfig(
-        num_racks=racks, pis_per_rack=pis,
-        topology="fat-tree", fat_tree_k=k,
-        routing="ecmp",
-        seed=nodes,
-        incremental_fairness=incremental,
-        start_monitoring=True,
-    )
-    cloud = PiCloud(config)
-    cloud.boot()
-    return cloud
-
-
-def _spread_chatty_pairs(cloud: PiCloud, pairs: int) -> None:
-    """Setup: spread container pairs wide, wire on/off traffic sources.
-
-    Untimed -- each spawn triggers a fleet-wide placement scan (O(nodes)
-    REST exchanges) that both solver modes pay identically, so timing it
-    would only dilute the comparison the benchmark exists to make.
-    """
-    records = [
-        cloud.spawn_and_wait("base", name=f"c{i}", policy=WorstFit())
-        for i in range(2 * pairs)
-    ]
-    rng = random.Random(11)
-    for sender, receiver in zip(records[:pairs], records[pairs:]):
-        cloud.container(receiver.name).listen(9000)
-        sender_container = cloud.container(sender.name)
-
-        def make_send(src=sender_container, dst_ip=receiver.ip):
-            return lambda: src.send(dst_ip, 9000, "chunk", size=kib(64))
-
-        # 20 sends/s x 64 KiB = 1.3 MB/s offered per pair: high flow
-        # churn, but light enough that post-consolidation link sharing
-        # congests transiently instead of collapsing into an ever-growing
-        # backlog (which would swamp both solver modes identically).
-        OnOffTrafficSource(
-            cloud.sim, rng, make_send(), on_mean_s=2.0, off_mean_s=0.5,
-            rate_per_s=20.0,
-        )
-
-
-def _drive_scenario(cloud: PiCloud) -> None:
-    """The timed portion: traffic churn, a consolidation round, more churn."""
-    cloud.run_for(WARMUP_S)
-    runtimes = {name: daemon.runtime for name, daemon in cloud.daemons.items()}
-    consolidator = Consolidator(cloud.sim, runtimes, power_off_empty=True)
-    consolidator.run_round()
-    cloud.run_for(SETTLE_S)
-    cloud.run_for(MEASURE_S)
-
-
-def _measure(nodes: int, incremental: bool) -> dict:
-    setup_start = time.monotonic()
-    cloud = _build(nodes, incremental)
-    _spread_chatty_pairs(cloud, PAIRS[nodes])
-    setup_wall_s = time.monotonic() - setup_start
-
-    start_events = cloud.sim.events_executed
-    start = time.monotonic()
-    _drive_scenario(cloud)
-    wall_s = time.monotonic() - start
-    events = cloud.sim.events_executed - start_events
-    return {
-        "nodes": nodes,
-        "incremental": incremental,
-        "setup_wall_s": round(setup_wall_s, 3),
-        "wall_s": round(wall_s, 3),
-        "events": events,
-        "events_per_s": round(events / wall_s) if wall_s > 0 else None,
-        "flows_started": int(cloud.network.flows_started.total),
-        "recomputes": cloud.network.recomputes,
-        "flows_solved": cloud.network.flows_solved,
-    }
 
 
 def _merge_results(update: dict) -> None:
@@ -151,7 +56,7 @@ def _merge_results(update: dict) -> None:
 @pytest.mark.timeout(1200)
 @pytest.mark.parametrize("nodes", _selected_scales())
 def test_scale_throughput(nodes):
-    result = _measure(nodes, incremental=True)
+    result = measure_scale(nodes, incremental=True)
     print(f"\n{nodes} nodes: {result['events']} events in "
           f"{result['wall_s']:.2f}s wall = {result['events_per_s']} events/s")
     _merge_results({"scales": {str(nodes): result}})
@@ -164,8 +69,8 @@ def test_incremental_speedup_at_224():
     """Same 224-node scenario, solver on vs off: >= 3x wall-clock."""
     if 224 not in _selected_scales():
         pytest.skip("224 not in SCALE_PERF_SCALES")
-    fast = _measure(224, incremental=True)
-    slow = _measure(224, incremental=False)
+    fast = measure_scale(224, incremental=True)
+    slow = measure_scale(224, incremental=False)
     speedup = slow["wall_s"] / fast["wall_s"]
     print(f"\n224 nodes incremental={fast['wall_s']:.2f}s "
           f"full-solve={slow['wall_s']:.2f}s speedup={speedup:.1f}x")

@@ -1,121 +1,98 @@
 #!/usr/bin/env python
-"""Availability under stochastic node failures, with self-healing on.
+"""Availability under stochastic node failures, as a campaign sweep.
 
-The paper motivates the testbed with real DC failure behaviour (§I cites
-Gill et al.).  This experiment closes the loop: an MTBF process kills
-Pis while the pimaster's self-healing plane detects the deaths
-(heartbeats), evacuates the lost containers through the placement
-policy, and re-enrolls repaired nodes.  At the end it reports measured
-per-node and fleet availability plus the recovery plane's counters.
+The paper motivates the testbed with real DC failure behaviour (§I
+cites Gill et al.).  This experiment closes the loop at *campaign*
+scale: a 12-cell grid of MTBF node-fault processes (failure rate x
+repair speed x self-healing on/off) runs across worker processes under
+the kernel's run budgets, every run lands as a structured record in a
+JSONL result store, and a static HTML dashboard shows the availability
+and recovery grids.  The per-run body is the ``availability_mtbf``
+scenario in ``repro.campaign.scenarios``: heartbeat detection,
+container evacuation through the placement policy, node re-imaging and
+rejoin.
 
 Run:  python examples/availability_experiment.py
-      python examples/availability_experiment.py --trace-out chaos.json
+      python examples/availability_experiment.py --quick
+      python -m repro campaign run specs/availability_mtbf.yaml
 
-CI runs this as the non-blocking ``chaos-smoke`` job under the kernel's
-run-budget watchdog (``--max-events`` / ``--wall-timeout``), uploading
-the trace on failure.
+CI runs the committed spec directly as the ``chaos-smoke`` job and
+uploads the result store + dashboard as artifacts on every run.
 """
 
 import argparse
-import random
 import sys
+from pathlib import Path
 
-from repro import HealthConfig, PiCloud, PiCloudConfig, SimBudgetConfig, TraceConfig
-from repro.errors import SimBudgetExceeded
-from repro.faults import MtbfFaultInjector
-from repro.mgmt.health import NodeHealth
+from repro.campaign import load_spec, run_campaign
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SPEC = REPO_ROOT / "specs" / "availability_mtbf.yaml"
 
 parser = argparse.ArgumentParser(description=__doc__)
-parser.add_argument("--seed", type=int, default=42)
-parser.add_argument("--duration", type=float, default=900.0,
-                    help="fault-campaign length in simulated seconds")
-parser.add_argument("--node-mtbf", type=float, default=150.0)
-parser.add_argument("--mttr", type=float, default=60.0)
-parser.add_argument("--max-events", type=int, default=None,
-                    help="run budget: abort after N kernel events")
-parser.add_argument("--wall-timeout", type=float, default=None,
-                    help="watchdog: abort after S wall-clock seconds")
-parser.add_argument("--trace-out", type=str, default=None,
-                    help="record a causal trace and write it here")
+parser.add_argument("--spec", default=str(DEFAULT_SPEC),
+                    help="campaign spec to run (default: the committed "
+                         "specs/availability_mtbf.yaml)")
+parser.add_argument("--out", default="campaign-out/availability-mtbf",
+                    help="result store / dashboard directory")
+parser.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: from the spec)")
+parser.add_argument("--quick", action="store_true",
+                    help="single seed and shorter fault window (for a "
+                         "fast local look)")
 args = parser.parse_args()
 
-config = PiCloudConfig.small(
-    racks=2, pis=3, start_monitoring=False, routing="shortest",
-    seed=args.seed,
-    health=HealthConfig(
-        enabled=True,
-        heartbeat_interval_s=2.0, heartbeat_timeout_s=1.0,
-        suspect_after_misses=2, dead_after_misses=3,
-    ),
-    trace=TraceConfig(enabled=args.trace_out is not None),
-    budget=SimBudgetConfig(max_events=args.max_events,
-                           max_wall_s=args.wall_timeout),
-)
-cloud = PiCloud(config)
-cloud.boot()
-status = 0
+spec = load_spec(args.spec)
+if args.quick:
+    from dataclasses import replace
 
-try:
-    print("phase 1: placing a baseline workload")
-    for i in range(4):
-        record = cloud.spawn_and_wait("webserver", name=f"web-{i}",
-                                      group="web")
-        print(f"  web-{i} -> {record.node_id}")
+    spec = replace(spec, seeds=spec.seeds[:1],
+                   params={**spec.params, "duration_s": 300.0})
 
-    window_start = cloud.sim.now
-    print(f"\nphase 2: MTBF node-fault campaign "
-          f"(MTBF {args.node_mtbf:.0f}s, MTTR {args.mttr:.0f}s, "
-          f"{args.duration:.0f}s simulated)")
-    injector = MtbfFaultInjector(
-        cloud, rng=random.Random(args.seed),
-        node_mtbf_s=args.node_mtbf, mttr_s=args.mttr,
-        duration_s=args.duration,
-    )
-    cloud.run_for(args.duration + 2 * args.mttr)  # drain repairs/rejoins
-    injector.stop()
-    window_end = cloud.sim.now
+print(f"campaign {spec.name!r}: {spec.cell_count} grid cells x "
+      f"{len(spec.seeds)} seed(s) = {spec.run_count} runs "
+      f"(MTBF x MTTR x self-healing)")
+result = run_campaign(spec, args.out, workers=args.workers)
 
-    fails = sum(1 for e in injector.log if e.kind == "node-fail")
-    repairs = sum(1 for e in injector.log if e.kind == "node-repair")
-    print(f"  {fails} node failures, {repairs} repairs")
+# -- the headline table: does self-healing keep the workload alive? ------
+by_cell = {}
+for record in result.records:
+    if not record.ok:
+        continue
+    key = (record.cell.get("node_mtbf_s"), record.cell.get("mttr_s"))
+    bucket = by_cell.setdefault(key, {True: [], False: []})
+    bucket[bool(record.cell.get("self_healing"))].append(record)
 
-    print("\nphase 3: measured availability")
-    for node in cloud.node_names:
-        availability = injector.availability(node, window_start, window_end)
-        state = cloud.pimaster.health.state(node).value
-        print(f"  {node:10s} {availability * 100:6.2f}%  ({state})")
-    fleet = injector.fleet_availability(window_start, window_end)
-    print(f"  fleet availability: {fleet * 100:.2f}%")
 
-    health = cloud.pimaster.health
-    recovery = cloud.pimaster.recovery
-    print("\nself-healing plane:")
-    print(f"  heartbeats sent/missed: {health.heartbeats_sent}"
-          f"/{health.heartbeats_missed}")
-    print(f"  transitions: {dict(sorted(health.transitions.items()))}")
-    print(f"  evacuations: {recovery.evacuations} "
-          f"({recovery.containers_evacuated} containers, "
-          f"{recovery.containers_respawned} respawned, "
-          f"{len(recovery.unschedulable)} unschedulable)")
-    print(f"  node rejoins: {cloud.pimaster.rejoins}")
+def _mean(records, metric):
+    values = [r.metrics[metric] for r in records if metric in r.metrics]
+    return sum(values) / len(values) if values else float("nan")
 
-    running = sum(d.runtime.running_count() for d in cloud.daemons.values())
-    alive = len(health.nodes_in(NodeHealth.ALIVE))
-    print(f"\nend state: {alive}/{len(cloud.node_names)} nodes alive, "
-          f"{running} containers running")
-    if fleet <= 0.0 or fleet > 1.0:
-        print("fleet availability out of range", file=sys.stderr)
-        status = 1
-    print("\n=> nodes die and come back, containers follow the survivors, "
-          "and the availability number quantifies the whole loop.")
-except SimBudgetExceeded as exc:
-    print("simulation aborted: run budget exceeded", file=sys.stderr)
-    if exc.snapshot is not None:
-        print(exc.snapshot.describe(), file=sys.stderr)
-    status = 3
-finally:
-    if args.trace_out is not None and cloud.tracer is not None:
-        path = cloud.write_trace(args.trace_out)
-        print(f"trace written to {path}", file=sys.stderr)
 
-sys.exit(status)
+print("\nfleet availability / containers still running "
+      "(mean over seeds; workload starts with 4):")
+print(f"  {'MTBF':>6s} {'MTTR':>6s}   {'self-healing':>22s}   "
+      f"{'no self-healing':>22s}")
+for (mtbf, mttr), bucket in sorted(by_cell.items()):
+    columns = []
+    for healing in (True, False):
+        records = bucket[healing]
+        columns.append(
+            f"{_mean(records, 'fleet_availability') * 100:6.2f}%  "
+            f"{_mean(records, 'containers_running'):4.1f} up"
+        )
+    print(f"  {mtbf:6.0f} {mttr:6.0f}   {columns[0]:>22s}   {columns[1]:>22s}")
+
+failed = result.store.failed()
+if failed:
+    print(f"\n{len(failed)} run(s) did not complete cleanly "
+          f"(recorded in the store, not crashed):")
+    for record in failed:
+        print(f"  {record.run_id} {record.status}: {record.error}")
+
+print(f"\nresult store: {result.store.path}")
+if result.dashboard_path:
+    print(f"dashboard:    {result.dashboard_path}")
+print("\n=> nodes die and come back, containers follow the survivors, and "
+      "the campaign store quantifies the whole loop across the grid.")
+sys.exit(0 if result.ok else 1)

@@ -44,6 +44,14 @@ _FACADE = {
     "FaultEvent": "repro.faults",
     "MtbfFaultInjector": "repro.faults",
     "Tracer": "repro.trace.tracer",
+    # Experiment campaigns (grid sweeps, result stores, dashboards).
+    "CampaignSpec": "repro.campaign",
+    "CampaignRunner": "repro.campaign",
+    "CampaignResult": "repro.campaign",
+    "ResultStore": "repro.campaign",
+    "RunRecord": "repro.campaign",
+    "run_campaign": "repro.campaign",
+    "render_dashboard": "repro.campaign",
     # Error hierarchy.
     "PiCloudError": "repro.errors",
     "ConfigurationError": "repro.errors",
@@ -69,6 +77,7 @@ _FACADE = {
     "FaultError": "repro.errors",
     "FaultTargetError": "repro.errors",
     "FaultStateError": "repro.errors",
+    "CampaignError": "repro.errors",
     "PlacementError": "repro.errors",
     "SchedulingError": "repro.errors",
 }

@@ -1,0 +1,311 @@
+"""The scenario registry: named, parameterised experiment bodies.
+
+A *scenario* is the per-run body of a campaign: a callable taking a
+:class:`RunContext` (merged parameters, seed, per-run
+:class:`~repro.core.config.SimBudgetConfig`, artifact directory) and
+returning a flat dict of metrics.  Campaign specs name scenarios either
+by registered name (the built-ins below) or by dotted path
+(``"mypkg.mymod:my_scenario"``), so studies can live outside the
+library without forking the runner.
+
+Built-ins:
+
+* ``availability_mtbf`` -- the MTBF node-fault campaign against a
+  (optionally self-healing) cloud, measuring fleet availability and the
+  recovery plane's counters.  ``specs/availability_mtbf.yaml`` sweeps
+  it; CI's ``chaos-smoke`` job runs that spec.
+* ``scale_perf`` -- the consolidation-vs-congestion throughput
+  benchmark at 56/224/896 nodes (shared with
+  ``benchmarks/test_scale_perf.py``); CI's ``perf-smoke`` job runs
+  ``specs/perf_224.yaml`` and gates it with
+  ``benchmarks/compare_baseline.py``.
+
+Heavy imports happen inside the scenario bodies so importing
+``repro.campaign`` stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.config import SimBudgetConfig
+from repro.errors import CampaignError
+
+Scenario = Callable[["RunContext"], Dict[str, Any]]
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+@dataclass
+class RunContext:
+    """Everything one campaign run gets to see."""
+
+    params: Dict[str, Any]
+    seed: int
+    budget: SimBudgetConfig = field(default_factory=SimBudgetConfig)
+    artifacts_dir: Optional[Path] = None
+    trace: bool = False
+    artifacts: List[str] = field(default_factory=list)
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+    def artifact_path(self, name: str) -> Path:
+        """Reserve an artifact file path (parents created, name recorded)."""
+        if self.artifacts_dir is None:
+            raise CampaignError("run has no artifacts directory")
+        path = self.artifacts_dir / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if name not in self.artifacts:
+            self.artifacts.append(name)
+        return path
+
+
+def register_scenario(name: str) -> Callable[[Scenario], Scenario]:
+    """Decorator: make a scenario addressable by name from specs."""
+
+    def decorate(fn: Scenario) -> Scenario:
+        if name in _REGISTRY:
+            raise CampaignError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def registered_scenarios() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def resolve_scenario(ref: str) -> Scenario:
+    """A registered name, or a ``"module.path:function"`` dotted ref."""
+    if ref in _REGISTRY:
+        return _REGISTRY[ref]
+    if ":" in ref:
+        module_name, _, attr = ref.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise CampaignError(
+                f"cannot import scenario module {module_name!r}: {exc}"
+            ) from exc
+        scenario = getattr(module, attr, None)
+        if not callable(scenario):
+            raise CampaignError(
+                f"scenario ref {ref!r} does not name a callable"
+            )
+        return scenario
+    raise CampaignError(
+        f"unknown scenario {ref!r}; registered: {registered_scenarios()} "
+        f"(or use a 'module:function' dotted ref)"
+    )
+
+
+# -- built-in: MTBF availability --------------------------------------------
+
+
+@register_scenario("availability_mtbf")
+def availability_mtbf(ctx: RunContext) -> Dict[str, Any]:
+    """MTBF node faults against a (self-healing) cloud; availability out.
+
+    The per-run body of ``examples/availability_experiment.py``: place a
+    baseline web workload, run an exponential node-fault/repair process
+    for ``duration_s`` simulated seconds, and report measured fleet
+    availability plus every self-healing counter.
+    """
+    from repro.core.cloud import PiCloud
+    from repro.core.config import HealthConfig, PiCloudConfig, TraceConfig
+    from repro.faults import MtbfFaultInjector
+    from repro.mgmt.health import NodeHealth
+
+    p = ctx.param
+    self_healing = bool(p("self_healing", True))
+    duration_s = float(p("duration_s", 600.0))
+    mttr_s = float(p("mttr_s", 60.0))
+    config = PiCloudConfig.small(
+        racks=int(p("racks", 2)), pis=int(p("pis", 3)),
+        start_monitoring=False, routing=str(p("routing", "shortest")),
+        seed=ctx.seed,
+        health=HealthConfig(
+            enabled=self_healing,
+            heartbeat_interval_s=float(p("heartbeat_interval_s", 2.0)),
+            heartbeat_timeout_s=float(p("heartbeat_timeout_s", 1.0)),
+            suspect_after_misses=int(p("suspect_after_misses", 2)),
+            dead_after_misses=int(p("dead_after_misses", 3)),
+        ),
+        trace=TraceConfig(enabled=ctx.trace),
+        budget=ctx.budget,
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    try:
+        for i in range(int(p("web_containers", 4))):
+            cloud.spawn_and_wait("webserver", name=f"web-{i}", group="web")
+
+        window_start = cloud.sim.now
+        injector = MtbfFaultInjector(
+            cloud, rng=random.Random(ctx.seed),
+            node_mtbf_s=float(p("node_mtbf_s", 150.0)),
+            mttr_s=mttr_s, duration_s=duration_s,
+        )
+        cloud.run_for(duration_s + 2 * mttr_s)  # drain repairs/rejoins
+        injector.stop()
+        window_end = cloud.sim.now
+
+        health = cloud.pimaster.health
+        recovery = cloud.pimaster.recovery
+        running = sum(
+            d.runtime.running_count() for d in cloud.daemons.values()
+        )
+        return {
+            "fleet_availability": injector.fleet_availability(
+                window_start, window_end
+            ),
+            "node_failures": sum(
+                1 for e in injector.log if e.kind == "node-fail"
+            ),
+            "node_repairs": sum(
+                1 for e in injector.log if e.kind == "node-repair"
+            ),
+            "heartbeats_sent": health.heartbeats_sent,
+            "heartbeats_missed": health.heartbeats_missed,
+            "evacuations": recovery.evacuations,
+            "containers_evacuated": recovery.containers_evacuated,
+            "containers_respawned": recovery.containers_respawned,
+            "unschedulable": len(recovery.unschedulable),
+            "rejoins": cloud.pimaster.rejoins,
+            "nodes_alive": len(health.nodes_in(NodeHealth.ALIVE))
+            if self_healing else sum(
+                1 for n in cloud.node_names if cloud.machines[n].is_on
+            ),
+            "containers_running": running,
+            "sim_time_s": cloud.sim.now,
+        }
+    finally:
+        if ctx.trace and cloud.tracer is not None:
+            cloud.write_trace(str(ctx.artifact_path("trace.jsonl")))
+
+
+# -- built-in: scale/perf envelope ------------------------------------------
+
+# nodes -> (racks, pis_per_rack, fat-tree k).  k**3/4 must hold the nodes.
+SCALES = {
+    56: (4, 14, 8),
+    224: (16, 14, 10),
+    896: (64, 14, 16),
+}
+# Chatty container pairs per scale: enough concurrent flows to make the
+# fair-share solver the hot path, bounded so the 896-node run stays in
+# CI-able territory (each spawn costs a fleet-wide placement scan --
+# O(nodes) REST exchanges -- which both solver modes pay identically).
+PAIRS = {56: 6, 224: 12, 896: 16}
+
+WARMUP_S = 30.0
+SETTLE_S = 60.0
+MEASURE_S = 30.0
+
+
+def measure_scale(
+    nodes: int,
+    incremental: bool = True,
+    seed: Optional[int] = None,
+    budget: Optional[SimBudgetConfig] = None,
+    pairs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build, load, and drive the consolidation scenario at ``nodes``.
+
+    The single source of truth for the scale benchmark: both the
+    ``scale_perf`` campaign scenario and
+    ``benchmarks/test_scale_perf.py`` call this, so the committed
+    ``BENCH_perf.json`` baseline and campaign result stores measure the
+    exact same workload.
+    """
+    from repro.apps import OnOffTrafficSource
+    from repro.core.cloud import PiCloud
+    from repro.core.config import PiCloudConfig
+    from repro.placement import Consolidator, WorstFit
+    from repro.units import kib
+
+    if nodes not in SCALES:
+        raise CampaignError(
+            f"unknown scale {nodes}; known: {sorted(SCALES)}"
+        )
+    racks, pis, k = SCALES[nodes]
+    pair_count = PAIRS[nodes] if pairs is None else int(pairs)
+
+    setup_start = time.monotonic()
+    config = PiCloudConfig(
+        num_racks=racks, pis_per_rack=pis,
+        topology="fat-tree", fat_tree_k=k,
+        routing="ecmp",
+        seed=nodes if seed is None else seed,
+        incremental_fairness=incremental,
+        start_monitoring=True,
+        budget=budget or SimBudgetConfig(),
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+
+    # Setup: spread container pairs wide, wire on/off traffic sources.
+    # Untimed in wall_s -- each spawn triggers a fleet-wide placement
+    # scan that both solver modes pay identically.
+    records = [
+        cloud.spawn_and_wait("base", name=f"c{i}", policy=WorstFit())
+        for i in range(2 * pair_count)
+    ]
+    rng = random.Random(11)
+    for sender, receiver in zip(records[:pair_count], records[pair_count:]):
+        cloud.container(receiver.name).listen(9000)
+        sender_container = cloud.container(sender.name)
+
+        def make_send(src=sender_container, dst_ip=receiver.ip):
+            return lambda: src.send(dst_ip, 9000, "chunk", size=kib(64))
+
+        # 20 sends/s x 64 KiB = 1.3 MB/s offered per pair: high flow
+        # churn, light enough that post-consolidation sharing congests
+        # transiently instead of collapsing into a growing backlog.
+        OnOffTrafficSource(
+            cloud.sim, rng, make_send(), on_mean_s=2.0, off_mean_s=0.5,
+            rate_per_s=20.0,
+        )
+    setup_wall_s = time.monotonic() - setup_start
+
+    # The timed portion: churn, a consolidation round, more churn.
+    start_events = cloud.sim.events_executed
+    start = time.monotonic()
+    cloud.run_for(WARMUP_S)
+    runtimes = {name: daemon.runtime for name, daemon in cloud.daemons.items()}
+    consolidator = Consolidator(cloud.sim, runtimes, power_off_empty=True)
+    consolidator.run_round()
+    cloud.run_for(SETTLE_S)
+    cloud.run_for(MEASURE_S)
+    wall_s = time.monotonic() - start
+    events = cloud.sim.events_executed - start_events
+    return {
+        "nodes": nodes,
+        "incremental": incremental,
+        "setup_wall_s": round(setup_wall_s, 3),
+        "wall_s": round(wall_s, 3),
+        "events": events,
+        "events_per_s": round(events / wall_s) if wall_s > 0 else None,
+        "flows_started": int(cloud.network.flows_started.total),
+        "recomputes": cloud.network.recomputes,
+        "flows_solved": cloud.network.flows_solved,
+    }
+
+
+@register_scenario("scale_perf")
+def scale_perf(ctx: RunContext) -> Dict[str, Any]:
+    """Campaign wrapper over :func:`measure_scale` (grid: nodes x solver)."""
+    return measure_scale(
+        int(ctx.param("nodes", 224)),
+        incremental=bool(ctx.param("incremental", True)),
+        seed=ctx.seed,
+        budget=ctx.budget,
+        pairs=ctx.param("pairs"),
+    )

@@ -153,6 +153,48 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import load_spec, run_campaign
+
+    spec = load_spec(args.spec)
+    out_dir = args.out or str(PurePath("campaign-out") / spec.name)
+    result = run_campaign(
+        spec, out_dir,
+        workers=args.workers,
+        baseline=args.baseline,
+        dashboard=not args.no_dashboard,
+        verbose=not args.quiet,
+    )
+    rows = [["campaign", spec.name],
+            ["scenario", spec.scenario],
+            ["grid cells", spec.cell_count],
+            ["runs", len(result.records)],
+            ["wall clock", f"{result.wall_s:.1f} s"]]
+    for status, count in sorted(result.summary().items()):
+        rows.append([f"runs {status}", count])
+    rows.append(["result store", str(result.store.path)])
+    if result.dashboard_path is not None:
+        rows.append(["dashboard", str(result.dashboard_path)])
+    print(format_table(["metric", "value"], rows))
+    if not result.ok:
+        print("campaign completed with failed runs (see the result store)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore, render_dashboard
+
+    store = ResultStore.load(args.store)
+    baseline = ResultStore.load(args.baseline) if args.baseline else None
+    out = args.out or str(PurePath(str(store.directory)) / "dashboard.html")
+    path = render_dashboard(store, out, baseline=baseline)
+    ok = sum(1 for record in store if record.ok)
+    print(f"{len(store)} runs ({ok} ok) -> {path}")
+    return 0
+
+
 def cmd_storm(args: argparse.Namespace) -> int:
     if args.racks < 2:
         print("storm needs at least 2 racks", file=sys.stderr)
@@ -205,6 +247,45 @@ def build_parser() -> argparse.ArgumentParser:
     storm.add_argument("--mb", type=float, default=10.0,
                        help="size of each elephant in MB")
     storm.set_defaults(handler=cmd_storm)
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="declarative experiment campaigns (see docs/campaigns.md)",
+    )
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="expand a spec's grid and run it across workers"
+    )
+    campaign_run.add_argument("spec", help="campaign spec (.yaml/.json)")
+    campaign_run.add_argument("--out", default=None, metavar="DIR",
+                              help="output directory (default: "
+                                   "campaign-out/<campaign-name>)")
+    campaign_run.add_argument("--workers", type=int, default=None,
+                              help="worker processes (default: from spec)")
+    campaign_run.add_argument("--baseline", default=None, metavar="STORE",
+                              help="baseline result store for dashboard "
+                                   "regression deltas")
+    campaign_run.add_argument("--no-dashboard", action="store_true",
+                              help="skip rendering dashboard.html")
+    campaign_run.add_argument("--quiet", action="store_true",
+                              help="suppress per-run progress lines")
+    campaign_run.set_defaults(handler=cmd_campaign_run)
+
+    campaign_report = campaign_commands.add_parser(
+        "report", help="render a dashboard from an existing result store"
+    )
+    campaign_report.add_argument(
+        "store", help="result store: directory, results.jsonl, or .sqlite"
+    )
+    campaign_report.add_argument("--out", default=None, metavar="PATH",
+                                 help="dashboard path (default: "
+                                      "<store>/dashboard.html)")
+    campaign_report.add_argument("--baseline", default=None, metavar="STORE",
+                                 help="baseline store for regression deltas")
+    campaign_report.set_defaults(handler=cmd_campaign_report)
     return parser
 
 

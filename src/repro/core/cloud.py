@@ -15,6 +15,7 @@ Fig. 1/2 system in software::
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional
 
 from repro import trace
@@ -405,6 +406,9 @@ class PiCloud:
             )
         self.profiler.disable()
         target = path or self.config.profile_out
+        parent = os.path.dirname(target)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         self.profiler.dump_stats(target)
         return target
 

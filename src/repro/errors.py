@@ -167,6 +167,11 @@ class FaultStateError(FaultError, RuntimeError):
     (also ``RuntimeError``)."""
 
 
+class CampaignError(PiCloudError):
+    """Experiment-campaign misuse: a malformed spec, an unknown scenario,
+    an empty parameter grid, or a result store that cannot be read."""
+
+
 class PlacementError(PiCloudError):
     """No node can satisfy a placement request under the active policy."""
 

@@ -43,6 +43,10 @@ EXPECTED_SURFACE = sorted([
     "UnknownNodeError",
     "FaultError", "FaultTargetError", "FaultStateError",
     "PlacementError", "SchedulingError",
+    "CampaignError",
+    "CampaignSpec", "CampaignRunner", "CampaignResult",
+    "ResultStore", "RunRecord",
+    "run_campaign", "render_dashboard",
 ])
 
 
