@@ -9,7 +9,10 @@ congestion" -- a ripple effect VM-only simulators cannot show.
 We place chatty container pairs spread across racks, measure link
 congestion and power, then consolidate aggressively and measure again:
 power drops (machines powered off) while the packed hosts' access links
-congest.
+congest.  A session-level user load (``repro.load``) runs against the
+same containers in both windows, so the trade-off is also reported the
+way an operator would see it: p50/p99 request latency and SLO
+error-budget burn, before and after consolidation.
 
 With ``--trace-out trace.json`` the whole run is causally traced: every
 migration is a ``virt.migrate`` span whose pre-copy rounds are child
@@ -26,7 +29,16 @@ Run:  python examples/consolidation_vs_congestion.py [--trace-out trace.json]
 import argparse
 import random
 
-from repro import PiCloud, PiCloudConfig, TraceConfig
+from repro import (
+    LoadEngine,
+    PiCloud,
+    PiCloudConfig,
+    PoissonArrivals,
+    Service,
+    ServiceProfile,
+    SloObjective,
+    TraceConfig,
+)
 from repro.apps import OnOffTrafficSource
 from repro.placement import Consolidator, WorstFit
 from repro.units import kib
@@ -56,10 +68,14 @@ def main(argv=None):
 
     # Containers spread as wide as possible (WorstFit), forming
     # client->server pairs that talk continuously.
+    # The receivers double as the "svc" replica pool for the session
+    # load: group= resolution tracks them through consolidation moves.
     records = []
     for i in range(2 * args.pairs):
+        group = "svc" if i >= args.pairs else None
         records.append(
-            cloud.spawn_and_wait("base", name=f"c{i}", policy=WorstFit())
+            cloud.spawn_and_wait("base", name=f"c{i}", policy=WorstFit(),
+                                 group=group)
         )
     print("Spread placement:", {r.name: r.node_id for r in records})
 
@@ -85,12 +101,30 @@ def main(argv=None):
         total_congested = sum(r["congested_s"] for r in rows)
         return worst, total_congested
 
-    cloud.run_for(args.warmup)
+    # Open-loop user sessions against the svc pool, one engine per
+    # measurement window, so latency/SLO numbers are window-local.
+    service = Service(
+        "svc",
+        profile=ServiceProfile(response_bytes=kib(8),
+                               requests_per_session_per_s=0.2),
+        slo=SloObjective(threshold_s=0.25),
+    )
+
+    def run_load(seconds):
+        engine = LoadEngine(cloud, [service], PoissonArrivals(40.0))
+        report = engine.run(seconds)
+        summary = report.fleet_summary()
+        _, burn = report.worst_burn()
+        return summary, burn
+
+    load_before, burn_before = run_load(args.warmup)
     worst_before, congested_before = congestion_snapshot()
     watts_before = cloud.total_watts()
     print(f"\nBefore consolidation: {watts_before:.1f} W, "
           f"total congested link-seconds={congested_before:.1f} "
           f"(worst: {worst_before['direction']} {worst_before['congested_s']:.1f}s)")
+    print(f"  user load: p50={load_before.p50 * 1e3:.1f} ms "
+          f"p99={load_before.p99 * 1e3:.1f} ms SLO burn={burn_before:.2f}x")
 
     # Aggressive consolidation: pack everything, power off empty Pis.
     runtimes = {name: daemon.runtime for name, daemon in cloud.daemons.items()}
@@ -102,16 +136,21 @@ def main(argv=None):
           f"{report.total_bytes_moved / 1e6:.0f} MB moved, "
           f"powered off {report.hosts_powered_off}")
 
-    cloud.run_for(args.measure)
+    load_after, burn_after = run_load(args.measure)
     worst_after, congested_after = congestion_snapshot()
     watts_after = cloud.total_watts()
     print(f"\nAfter consolidation: {watts_after:.1f} W, "
           f"total congested link-seconds={congested_after:.1f} "
           f"(worst: {worst_after['direction']} {worst_after['congested_s']:.1f}s)")
+    print(f"  user load: p50={load_after.p50 * 1e3:.1f} ms "
+          f"p99={load_after.p99 * 1e3:.1f} ms SLO burn={burn_after:.2f}x")
 
     print(f"\nPower saved: {watts_before - watts_after:.1f} W "
           f"({(1 - watts_after / watts_before) * 100:.0f}%)")
     print(f"Congestion added: {congested_after - congested_before:.1f} link-seconds")
+    print(f"p99 latency: {load_before.p99 * 1e3:.1f} -> "
+          f"{load_after.p99 * 1e3:.1f} ms; "
+          f"SLO burn: {burn_before:.2f}x -> {burn_after:.2f}x")
     print("\n=> consolidation trades network congestion for power -- the "
           "cross-layer ripple the PiCloud exists to expose.")
 

@@ -39,6 +39,20 @@ _FACADE = {
     "SimBudgetConfig": "repro.core.config",
     "HealthConfig": "repro.core.config",
     "TraceConfig": "repro.core.config",
+    "LoadConfig": "repro.core.config",
+    # Session-level load + SLO accounting (repro.load).
+    "LoadEngine": "repro.load",
+    "LoadReport": "repro.load",
+    "Service": "repro.load",
+    "ServiceProfile": "repro.load",
+    "SloObjective": "repro.load",
+    "SloTracker": "repro.load",
+    "ArrivalProcess": "repro.load",
+    "PoissonArrivals": "repro.load",
+    "DiurnalArrivals": "repro.load",
+    "FlashCrowdArrivals": "repro.load",
+    "RegionalMixture": "repro.load",
+    "LatencyHistogram": "repro.telemetry.stats",
     # Fault injection and tracing.
     "FaultSchedule": "repro.faults",
     "FaultEvent": "repro.faults",
@@ -80,6 +94,7 @@ _FACADE = {
     "CampaignError": "repro.errors",
     "PlacementError": "repro.errors",
     "SchedulingError": "repro.errors",
+    "LoadError": "repro.errors",
 }
 
 __all__ = ["__version__", *_FACADE]

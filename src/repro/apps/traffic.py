@@ -6,6 +6,11 @@ literature supports is Poisson-ish arrivals with heavy-tailed flow sizes
 (a sea of mice, a few elephants) plus ON/OFF burstiness.  All randomness
 comes from caller-supplied ``random.Random`` streams so experiments are
 reproducible.
+
+The sampling primitives (``poisson_wait``, ``pareto_size``) live in
+:mod:`repro.load.arrivals` -- one implementation shared between the
+per-event traffic sources here and the session-level load engine -- and
+are re-exported for compatibility.
 """
 
 from __future__ import annotations
@@ -13,23 +18,12 @@ from __future__ import annotations
 import random
 from typing import Callable, Optional
 
+from repro.load.arrivals import pareto_size, poisson_wait
 from repro.sim.kernel import Simulator
 from repro.sim.process import Timeout
 from repro.units import kib, mib
 
-
-def poisson_wait(rng: random.Random, rate_per_s: float) -> float:
-    """Exponential inter-arrival time for a Poisson process."""
-    if rate_per_s <= 0:
-        raise ValueError("rate must be positive")
-    return rng.expovariate(rate_per_s)
-
-
-def pareto_size(rng: random.Random, alpha: float = 1.2, minimum: float = 1000.0) -> float:
-    """Heavy-tailed (Pareto) flow size in bytes."""
-    if alpha <= 0 or minimum <= 0:
-        raise ValueError("alpha and minimum must be positive")
-    return minimum * rng.paretovariate(alpha)
+__all__ = ["OnOffTrafficSource", "dc_flow_size", "pareto_size", "poisson_wait"]
 
 
 def dc_flow_size(rng: random.Random) -> int:

@@ -24,9 +24,11 @@ from repro.campaign.store import ResultStore, RunRecord, iter_numeric_metrics
 
 # Direction heuristics for baseline deltas: which way is an improvement.
 _LOWER_BETTER = ("wall", "duration", "missed", "failure", "unschedulable",
-                 "recomputes", "flows_solved")
+                 "recomputes", "flows_solved",
+                 "p50_ms", "p95_ms", "p99_ms", "p999_ms",
+                 "burn", "error_rate", "shed", "bad_requests")
 _HIGHER_BETTER = ("availability", "events_per_s", "throughput", "alive",
-                  "running", "rejoin")
+                  "running", "rejoin", "good_requests")
 
 _CSS = """
 .viz-root {

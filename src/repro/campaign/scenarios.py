@@ -19,6 +19,11 @@ Built-ins:
   ``benchmarks/test_scale_perf.py``); CI's ``perf-smoke`` job runs
   ``specs/perf_224.yaml`` and gates it with
   ``benchmarks/compare_baseline.py``.
+* ``flashcrowd_slo`` -- a million-user flash crowd through the
+  session-level load engine (``repro.load``), static ECMP vs the SDN
+  TE arm, reported as p99/p999 latency and SLO error-budget burn.
+  ``specs/flashcrowd_slo.yaml`` sweeps it; CI's ``slo-smoke`` job runs
+  that spec.
 
 Heavy imports happen inside the scenario bodies so importing
 ``repro.campaign`` stays cheap.
@@ -309,3 +314,103 @@ def scale_perf(ctx: RunContext) -> Dict[str, Any]:
         budget=ctx.budget,
         pairs=ctx.param("pairs"),
     )
+
+
+# -- built-in: flash-crowd SLO burn ------------------------------------------
+
+
+@register_scenario("flashcrowd_slo")
+def flashcrowd_slo(ctx: RunContext) -> Dict[str, Any]:
+    """A million-user flash crowd vs the fabric's TE story, in SLO terms.
+
+    The session-level load engine (``repro.load``) ramps a flash crowd
+    over a fat-tree whose uplinks are deliberately tight, with one
+    webserver replica pool behind DNS/placement.  Grid axis ``routing``
+    compares static ECMP hashing against the SDN TE arm
+    (``sdn-least-congested`` placement plus the Hedera-style elephant
+    rerouter): same seed, same arrivals, same fabric -- the p99 and
+    error-budget burn gap is pure traffic engineering.
+    ``specs/flashcrowd_slo.yaml`` sweeps it; CI's ``slo-smoke`` job runs
+    that spec.
+    """
+    from repro.core.cloud import PiCloud
+    from repro.core.config import PiCloudConfig, TraceConfig
+    from repro.load import (
+        FlashCrowdArrivals,
+        LoadEngine,
+        Service,
+        ServiceProfile,
+        SloObjective,
+    )
+    from repro.units import mbit_per_s
+
+    p = ctx.param
+    nodes = int(p("nodes", 224))
+    if nodes not in SCALES:
+        raise CampaignError(f"unknown scale {nodes}; known: {sorted(SCALES)}")
+    racks, pis, k = SCALES[nodes]
+    routing = str(p("routing", "ecmp"))
+    duration_s = float(p("duration_s", 120.0))
+    config = PiCloudConfig(
+        num_racks=racks, pis_per_rack=pis,
+        topology="fat-tree", fat_tree_k=k,
+        routing=routing, seed=ctx.seed,
+        uplink_bandwidth=mbit_per_s(float(p("uplink_mbps", 100.0))),
+        start_monitoring=False,
+        trace=TraceConfig(enabled=ctx.trace),
+        budget=ctx.budget,
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    try:
+        for index in range(int(p("replicas", 50))):
+            cloud.spawn_and_wait("webserver", name=f"web{index}", group="web")
+
+        rerouter = None
+        te_apps = bool(p("te_apps", routing == "sdn-least-congested"))
+        if te_apps and cloud.controller is not None:
+            from repro.netsim.sdn import ElephantRerouter
+
+            rerouter = ElephantRerouter(
+                cloud.sim, cloud.network, cloud.controller,
+                interval=0.5, congestion_threshold=0.7, min_flow_bytes=1e5,
+            )
+
+        service = Service(
+            "web",
+            profile=ServiceProfile(
+                response_bytes=float(p("response_kib", 2.0)) * 1024.0,
+                requests_per_session_per_s=float(p("request_rate", 0.1)),
+                session_duration_s=float(p("session_s", 120.0)),
+            ),
+            slo=SloObjective(
+                threshold_s=float(p("slo_ms", 250.0)) / 1e3,
+                objective=float(p("objective", 0.999)),
+            ),
+        )
+        arrivals = FlashCrowdArrivals(
+            base_rate_per_s=float(p("base_rate", 500.0)),
+            peak_rate_per_s=float(p("peak_rate", 25_000.0)),
+            start_s=float(p("crowd_start_s", 10.0)),
+            ramp_s=float(p("ramp_s", 10.0)),
+            hold_s=float(p("hold_s", duration_s - 40.0)),
+            decay_s=float(p("decay_s", 20.0)),
+        )
+        engine = LoadEngine(cloud, [service], arrivals)
+        events_before = cloud.sim.events_executed
+        report = engine.run(duration_s)
+        if rerouter is not None:
+            rerouter.stop()
+
+        metrics = report.metrics()
+        metrics.update({
+            "nodes": nodes,
+            "te_apps": te_apps,
+            "kernel_events": cloud.sim.events_executed - events_before,
+            "reroutes": rerouter.reroutes if rerouter is not None else 0,
+            "sim_time_s": cloud.sim.now,
+        })
+        return metrics
+    finally:
+        if ctx.trace and cloud.tracer is not None:
+            cloud.write_trace(str(ctx.artifact_path("trace.jsonl")))

@@ -8,6 +8,8 @@ Commands:
   control panel.
 * ``storm``      -- run the inter-rack elephant storm under a routing mode
   and report completion time (experiment C3's workload).
+* ``load``       -- drive session-level user load (optionally a flash
+  crowd) through the fabric and report latency percentiles + SLO burn.
 
 All commands accept ``--racks`` / ``--pis`` / ``--routing`` / ``--seed``
 so paper-scale and toy runs use the same entry point.
@@ -31,7 +33,16 @@ from repro.core.config import (
 )
 from repro.core.experiments import elephant_storm
 from repro.errors import PiCloudError, SimBudgetExceeded
+from repro.load import (
+    FlashCrowdArrivals,
+    LoadEngine,
+    PoissonArrivals,
+    Service,
+    ServiceProfile,
+    SloObjective,
+)
 from repro.telemetry.stats import format_table
+from repro.units import mbit_per_s
 
 
 def _add_cloud_arguments(parser: argparse.ArgumentParser) -> None:
@@ -77,10 +88,17 @@ def _resolve_profile_out(args: argparse.Namespace) -> Optional[str]:
 
 
 def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
+    extra = {}
+    if getattr(args, "topology", None) is not None:
+        extra["topology"] = args.topology
+        extra["fat_tree_k"] = args.fat_tree_k
+    if getattr(args, "uplink_mbps", None) is not None:
+        extra["uplink_bandwidth"] = mbit_per_s(args.uplink_mbps)
     config = PiCloudConfig(
         num_racks=args.racks, pis_per_rack=args.pis,
         routing=args.routing, seed=args.seed,
         start_monitoring=monitoring,
+        **extra,
         budget=SimBudgetConfig(
             max_events=args.max_events,
             max_sim_time_s=args.max_sim_time,
@@ -215,6 +233,64 @@ def cmd_storm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    cloud = _build_cloud(args)
+    for index in range(args.replicas):
+        cloud.spawn_and_wait("webserver", name=f"{args.service}{index}",
+                             group=args.service)
+    rerouter = None
+    if args.te:
+        if cloud.controller is None:
+            print("--te needs an SDN routing mode (--routing sdn-*)",
+                  file=sys.stderr)
+            return 2
+        from repro.netsim.sdn import ElephantRerouter
+
+        rerouter = ElephantRerouter(
+            cloud.sim, cloud.network, cloud.controller,
+            interval=0.5, congestion_threshold=0.7, min_flow_bytes=1e5,
+        )
+    service = Service(
+        args.service,
+        profile=ServiceProfile(
+            response_bytes=args.response_kib * 1024.0,
+            requests_per_session_per_s=args.request_rate,
+            session_duration_s=args.session_s,
+        ),
+        slo=SloObjective(threshold_s=args.slo_ms / 1e3,
+                         objective=args.objective),
+    )
+    if args.crowd_peak is not None:
+        arrivals = FlashCrowdArrivals(
+            base_rate_per_s=args.rate, peak_rate_per_s=args.crowd_peak,
+            start_s=args.crowd_start,
+        )
+    else:
+        arrivals = PoissonArrivals(args.rate)
+    engine = LoadEngine(cloud, [service], arrivals)
+    report = engine.run(args.duration)
+    if rerouter is not None:
+        rerouter.stop()
+    print(report.format())
+    fleet = report.fleet_summary()
+    _, worst = report.worst_burn()
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [["routing", args.routing + (" + TE rerouter" if args.te else "")],
+         ["peak concurrent sessions",
+          f"{report.peak_concurrent_sessions:,.0f}"],
+         ["epochs", report.epochs],
+         ["fleet p50", f"{fleet.p50 * 1e3:.1f} ms"],
+         ["fleet p99", f"{fleet.p99 * 1e3:.1f} ms"],
+         ["fleet p999", f"{fleet.p999 * 1e3:.1f} ms"],
+         ["fleet error rate", f"{report.fleet_error_rate():.2e}"],
+         ["worst SLO burn", f"{worst:.2f}x"],
+         ["kernel events", cloud.sim.events_executed]],
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -247,6 +323,45 @@ def build_parser() -> argparse.ArgumentParser:
     storm.add_argument("--mb", type=float, default=10.0,
                        help="size of each elephant in MB")
     storm.set_defaults(handler=cmd_storm)
+
+    load = commands.add_parser(
+        "load",
+        help="session-level user load with SLO accounting (docs/load.md)",
+    )
+    _add_cloud_arguments(load)
+    load.add_argument("--topology", choices=("multi-root-tree", "fat-tree"),
+                      default=None, help="fabric topology (default: config)")
+    load.add_argument("--fat-tree-k", type=int, default=4,
+                      help="fat-tree arity when --topology fat-tree")
+    load.add_argument("--uplink-mbps", type=float, default=None,
+                      help="uplink bandwidth in Mb/s (default: 1000)")
+    load.add_argument("--duration", type=float, default=60.0,
+                      help="simulated seconds of load")
+    load.add_argument("--rate", type=float, default=50.0,
+                      help="baseline session arrivals per second")
+    load.add_argument("--crowd-peak", type=float, default=None, metavar="RATE",
+                      help="flash crowd peak arrival rate (sessions/s); "
+                           "omit for steady Poisson arrivals")
+    load.add_argument("--crowd-start", type=float, default=10.0,
+                      help="flash crowd start, seconds into the run")
+    load.add_argument("--service", default="web",
+                      help="service/placement-group name")
+    load.add_argument("--replicas", type=int, default=8,
+                      help="webserver replicas to spawn")
+    load.add_argument("--request-rate", type=float, default=0.2,
+                      help="requests per session per second")
+    load.add_argument("--session-s", type=float, default=60.0,
+                      help="mean session duration (s)")
+    load.add_argument("--response-kib", type=float, default=8.0,
+                      help="response size (KiB)")
+    load.add_argument("--slo-ms", type=float, default=250.0,
+                      help="SLO latency threshold (ms)")
+    load.add_argument("--objective", type=float, default=0.999,
+                      help="SLO objective fraction (default 99.9%%)")
+    load.add_argument("--te", action="store_true",
+                      help="run the elephant-rerouter TE app alongside "
+                           "the SDN controller")
+    load.set_defaults(handler=cmd_load)
 
     campaign = commands.add_parser(
         "campaign",

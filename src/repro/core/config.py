@@ -11,6 +11,7 @@ into sub-configs:
 * :class:`SimBudgetConfig` (``budget=``) -- kernel run budgets/watchdog.
 * :class:`HealthConfig` (``health=``) -- the self-healing control plane.
 * :class:`TraceConfig` (``trace=``) -- cross-layer causal tracing.
+* :class:`LoadConfig` (``load=``) -- session-level load engine defaults.
 
 The old flat knobs (``max_events=``, ``tracing=``, ``self_healing=``,
 ``heartbeat_interval_s=``, ...) are still accepted with a
@@ -165,6 +166,47 @@ class TraceConfig:
     kernel_events: bool = False
 
 
+@dataclass(frozen=True, kw_only=True)
+class LoadConfig:
+    """Session-level load engine defaults (see ``docs/load.md``).
+
+    ``epoch_s`` is the fluid tick: once per epoch the engine samples
+    arrivals, advances session pools, and emits at most one fabric flow
+    per (service, client edge, replica) aggregate -- the knob that
+    trades timeline resolution against kernel events.
+    ``backlog_epochs`` bounds open-loop overload: an aggregate with
+    that many epoch flows still in flight sheds new requests (counted
+    as SLO-bad at the histogram ceiling) instead of queueing more
+    fabric work.  ``arrival_sampling=False`` switches from seeded
+    Poisson draws to the deterministic fluid mean.
+    """
+
+    epoch_s: float = 1.0
+    arrival_sampling: bool = True
+    backlog_epochs: int = 4
+    histogram_min_s: float = 1e-4
+    histogram_max_s: float = 100.0
+    histogram_buckets_per_decade: int = 20
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ConfigurationError(f"epoch_s must be > 0, got {self.epoch_s}")
+        if self.backlog_epochs < 1:
+            raise ConfigurationError(
+                f"backlog_epochs must be >= 1, got {self.backlog_epochs}"
+            )
+        if not 0 < self.histogram_min_s < self.histogram_max_s:
+            raise ConfigurationError(
+                "need 0 < histogram_min_s < histogram_max_s, got "
+                f"[{self.histogram_min_s}, {self.histogram_max_s}]"
+            )
+        if self.histogram_buckets_per_decade < 1:
+            raise ConfigurationError(
+                "histogram_buckets_per_decade must be >= 1, got "
+                f"{self.histogram_buckets_per_decade}"
+            )
+
+
 # Deprecated flat knob -> (sub-config attribute on PiCloudConfig, field name).
 _DEPRECATED_KNOBS = {
     "max_events": ("budget", "max_events"),
@@ -254,6 +296,7 @@ class PiCloudConfig:
     budget: SimBudgetConfig = field(default_factory=SimBudgetConfig)
     health: HealthConfig = field(default_factory=HealthConfig)
     trace: TraceConfig = field(default_factory=TraceConfig)
+    load: LoadConfig = field(default_factory=LoadConfig)
 
     # -- reproducibility --------------------------------------------------------------
     seed: int = 0

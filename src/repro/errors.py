@@ -178,3 +178,8 @@ class PlacementError(PiCloudError):
 
 class SchedulingError(PiCloudError):
     """Host CPU scheduler misuse (unknown task, negative work, ...)."""
+
+
+class LoadError(PiCloudError):
+    """The session-level load engine was misconfigured or could not run
+    (no resolvable replicas for a service, unknown region map, ...)."""

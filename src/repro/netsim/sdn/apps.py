@@ -179,7 +179,9 @@ class ElephantRerouter:
                     f for f in direction.flows
                     if f.size >= self.min_flow_bytes and f.flow_id not in seen
                 ]
-                big.sort(key=lambda f: -f.remaining)
+                # flow_id tie-break: direction.flows is a set, and
+                # equal-sized flows (fluid load aggregates) are common.
+                big.sort(key=lambda f: (-f.remaining, f.flow_id))
                 for flow in big[:1]:  # one per hot link per scan
                     seen.add(flow.flow_id)
                     yield flow

@@ -47,6 +47,11 @@ EXPECTED_SURFACE = sorted([
     "CampaignSpec", "CampaignRunner", "CampaignResult",
     "ResultStore", "RunRecord",
     "run_campaign", "render_dashboard",
+    "LoadConfig", "LoadError", "LoadEngine", "LoadReport",
+    "Service", "ServiceProfile", "SloObjective", "SloTracker",
+    "ArrivalProcess", "PoissonArrivals", "DiurnalArrivals",
+    "FlashCrowdArrivals", "RegionalMixture",
+    "LatencyHistogram",
 ])
 
 

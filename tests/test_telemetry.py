@@ -13,7 +13,7 @@ from repro.telemetry import (
     TimeSeries,
     summarize,
 )
-from repro.telemetry.stats import format_table
+from repro.telemetry.stats import LatencyHistogram, format_table
 
 
 @pytest.fixture
@@ -143,11 +143,77 @@ class TestSummary:
 
     def test_row_keys(self):
         row = summarize([1.0]).row()
-        assert set(row) == {"count", "mean", "std", "min", "p50", "p95", "p99", "max"}
+        assert set(row) == {"count", "mean", "std", "min", "p50", "p95",
+                            "p99", "p999", "max"}
 
     def test_percentiles_ordered(self):
         summary = summarize(range(1000))
-        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+        assert (summary.p50 <= summary.p95 <= summary.p99
+                <= summary.p999 <= summary.maximum)
+
+
+class TestLatencyHistogram:
+    def test_quantiles_bounded_by_bucket_width(self):
+        histogram = LatencyHistogram()
+        values = [0.001 * (1 + i % 100) for i in range(10_000)]
+        for value in values:
+            histogram.record(value)
+        exact = summarize(values)
+        approx = histogram.summary()
+        # Log buckets at 20/decade put relative error under ~12%.
+        for name in ("p50", "p95", "p99", "p999"):
+            assert getattr(approx, name) == pytest.approx(
+                getattr(exact, name), rel=0.13)
+        assert approx.mean == pytest.approx(exact.mean)
+        assert approx.minimum == exact.minimum
+        assert approx.maximum == exact.maximum
+
+    def test_fractional_weights(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.01, count=1.5e6)
+        histogram.record(1.0, count=0.5e6)
+        assert histogram.total == pytest.approx(2e6)
+        assert histogram.quantile(0.5) == pytest.approx(0.01, rel=0.15)
+        assert histogram.quantile(0.99) == pytest.approx(1.0, rel=0.15)
+
+    def test_overflow_and_underflow(self):
+        histogram = LatencyHistogram(min_value=1e-3, max_value=10.0)
+        histogram.record(math.inf, count=3.0)
+        histogram.record(1e-9)
+        assert histogram.total == 4.0
+        assert histogram.quantile(1.0) == 10.0    # clamped at the ceiling
+        with pytest.raises(ValueError):
+            histogram.record(math.nan)
+
+    def test_merge_matches_single_stream(self):
+        a, b, both = (LatencyHistogram() for _ in range(3))
+        for i in range(1, 500):
+            value = 0.001 * i
+            (a if i % 2 else b).record(value, count=i)
+            both.record(value, count=i)
+        a.merge(b)
+        merged, single = a.summary(), both.summary()
+        assert merged.count == single.count
+        assert merged.p50 == single.p50
+        assert merged.p99 == single.p99
+        assert merged.mean == pytest.approx(single.mean)
+        assert merged.std == pytest.approx(single.std)
+
+    def test_merge_rejects_layout_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(buckets_per_decade=5))
+
+    def test_round_trips_through_dict(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 100):
+            histogram.record(0.002 * i, count=i / 3.0)
+        clone = LatencyHistogram.from_dict(histogram.to_dict())
+        assert clone.summary() == histogram.summary()
+        assert clone.to_dict() == histogram.to_dict()
+
+    def test_empty_summary(self):
+        assert LatencyHistogram().summary().count == 0
+        assert math.isnan(LatencyHistogram().quantile(0.5))
 
 
 class TestFormatTable:
