@@ -26,7 +26,8 @@ from repro.campaign.store import ResultStore, RunRecord, iter_numeric_metrics
 _LOWER_BETTER = ("wall", "duration", "missed", "failure", "unschedulable",
                  "recomputes", "flows_solved",
                  "p50_ms", "p95_ms", "p99_ms", "p999_ms",
-                 "burn", "error_rate", "shed", "bad_requests")
+                 "burn", "error_rate", "shed", "bad_requests",
+                 "duplicate", "unreachable", "false_dead")
 _HIGHER_BETTER = ("availability", "events_per_s", "throughput", "alive",
                   "running", "rejoin", "good_requests")
 

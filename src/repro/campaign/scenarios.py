@@ -24,6 +24,13 @@ Built-ins:
   TE arm, reported as p99/p999 latency and SLO error-budget burn.
   ``specs/flashcrowd_slo.yaml`` sweeps it; CI's ``slo-smoke`` job runs
   that spec.
+* ``partition_chaos`` -- a network partition isolates one fat-tree pod
+  (hosts *and* pod switches) under live session load, sweeping
+  partition duration x UNREACHABLE grace x fencing on/off.  Reports
+  split-brain accounting (``duplicate_container_epochs`` must be 0
+  with fencing on), false evacuations, unreachable seconds, and the
+  user-visible SLO burn.  ``specs/partition_chaos.yaml`` sweeps it;
+  CI's ``partition-smoke`` job runs that spec.
 
 Heavy imports happen inside the scenario bodies so importing
 ``repro.campaign`` stays cheap.
@@ -408,6 +415,144 @@ def flashcrowd_slo(ctx: RunContext) -> Dict[str, Any]:
             "te_apps": te_apps,
             "kernel_events": cloud.sim.events_executed - events_before,
             "reroutes": rerouter.reroutes if rerouter is not None else 0,
+            "sim_time_s": cloud.sim.now,
+        })
+        return metrics
+    finally:
+        if ctx.trace and cloud.tracer is not None:
+            cloud.write_trace(str(ctx.artifact_path("trace.jsonl")))
+
+
+# -- built-in: partition chaos / split-brain safety ---------------------------
+
+
+@register_scenario("partition_chaos")
+def partition_chaos(ctx: RunContext) -> Dict[str, Any]:
+    """Partition one fat-tree pod under load; measure split-brain safety.
+
+    A scripted :class:`~repro.faults.FaultSchedule` partition isolates
+    one pod -- its hosts *and* its edge/aggregation switches -- from the
+    rest of the fabric (pimaster included) for ``partition_s`` seconds,
+    then heals.  Nothing is powered off: the partitioned replicas keep
+    running, which is exactly the split-brain hazard.  The grid sweeps
+
+    * ``partition_s`` -- how long the pod is dark;
+    * ``unreachable_grace_s`` -- gen-2 detector grace before an
+      UNREACHABLE node may be declared DEAD (grace > partition means no
+      evacuation at all);
+    * ``fencing`` -- whether spawns carry fencing epochs and the heal
+      reconciles duplicates (``duplicate_container_epochs`` counts the
+      *unresolved* duplicates, so it must be 0 whenever fencing is on).
+
+    A Poisson session load runs throughout, so the partition's
+    user-visible cost shows up as SLO burn, not just control-plane
+    counters.
+    """
+    from repro.core.cloud import PiCloud
+    from repro.core.config import HealthConfig, PiCloudConfig, TraceConfig
+    from repro.faults import FaultSchedule
+    from repro.load import LoadEngine, PoissonArrivals, Service, SloObjective
+
+    p = ctx.param
+    partition_s = float(p("partition_s", 60.0))
+    grace_s = float(p("unreachable_grace_s", 30.0))
+    fencing = bool(p("fencing", True))
+    pod = int(p("pod", 0))
+    k = int(p("fat_tree_k", 4))
+    config = PiCloudConfig(
+        num_racks=int(p("racks", 4)), pis_per_rack=int(p("pis", 4)),
+        topology="fat-tree", fat_tree_k=k,
+        routing=str(p("routing", "ecmp")), seed=ctx.seed,
+        start_monitoring=False,
+        health=HealthConfig(
+            enabled=True,
+            heartbeat_interval_s=float(p("heartbeat_interval_s", 2.0)),
+            heartbeat_timeout_s=float(p("heartbeat_timeout_s", 1.0)),
+            suspect_after_misses=int(p("suspect_after_misses", 2)),
+            dead_after_misses=int(p("dead_after_misses", 3)),
+            unreachable_grace_s=grace_s,
+            fencing=fencing,
+        ),
+        trace=TraceConfig(enabled=ctx.trace),
+        budget=ctx.budget,
+    )
+    cloud = PiCloud(config)
+    cloud.boot()
+    try:
+        for index in range(int(p("web_containers", 8))):
+            cloud.spawn_and_wait("webserver", name=f"web{index}", group="web")
+
+        # Pre-warm the image cache fleet-wide so evacuation respawns are
+        # container-create-fast: the experiment measures detector and
+        # fencing policy, not SD-card image-push time.  (It also makes
+        # the split-brain window realistic -- production fleets have the
+        # image everywhere.)
+        from repro.mgmt.distribution import ImageDistributor
+
+        warmed = ImageDistributor(cloud.pimaster).distribute_peer_assisted(
+            "webserver"
+        )
+        cloud.run_until_signal(warmed, max_seconds=86_400.0)
+
+        rack_name = f"pod{pod}"
+        members = sorted(
+            node for node, data in cloud.topology.graph.nodes(data=True)
+            if data.get("rack") == rack_name
+        )
+        if not members:
+            raise CampaignError(f"topology has no pod {rack_name!r}")
+
+        service = Service(
+            "web",
+            slo=SloObjective(
+                threshold_s=float(p("slo_ms", 250.0)) / 1e3,
+                objective=float(p("objective", 0.999)),
+            ),
+        )
+        engine = LoadEngine(
+            cloud, [service],
+            PoissonArrivals(float(p("arrival_rate", 20.0))),
+        )
+
+        settle_s = float(p("settle_s", 20.0))
+        # Drain long enough for the grace to expire, any evacuation to
+        # respawn, and the heal-time reconcile to finish.
+        drain_s = float(p("drain_s", 2.0 * grace_s + 60.0))
+        t0 = cloud.sim.now
+        schedule = FaultSchedule(cloud)
+        schedule.partition(t0 + settle_s, [members])
+        schedule.heal_partition(t0 + settle_s + partition_s)
+        schedule.arm()
+
+        duration_s = settle_s + partition_s + drain_s
+        events_before = cloud.sim.events_executed
+        report = engine.run(duration_s)
+
+        pimaster = cloud.pimaster
+        health = pimaster.health
+        recovery = pimaster.recovery
+        metrics = report.metrics()
+        metrics.update({
+            "partition_s": partition_s,
+            "unreachable_grace_s": grace_s,
+            "fencing": fencing,
+            "pod_members": len(members),
+            "duplicate_container_epochs": pimaster.duplicate_container_epochs,
+            "false_dead_evacuations": pimaster.false_dead_evacuations,
+            "reconciles": pimaster.reconciles,
+            "fencing_epoch": pimaster.fencing_epoch,
+            "unreachable_s": health.unreachable_seconds(),
+            "witness_probes": health.witness_probes,
+            "witness_confirmations": health.witness_confirmations,
+            "evacuations": recovery.evacuations,
+            "containers_evacuated": recovery.containers_evacuated,
+            "containers_respawned": recovery.containers_respawned,
+            "unschedulable": len(recovery.unschedulable),
+            "stale_epoch_rejections": sum(
+                daemon.stale_epoch_rejections
+                for daemon in cloud.daemons.values()
+            ),
+            "kernel_events": cloud.sim.events_executed - events_before,
             "sim_time_s": cloud.sim.now,
         })
         return metrics

@@ -267,27 +267,52 @@ def cmd_load(args: argparse.Namespace) -> int:
         )
     else:
         arrivals = PoissonArrivals(args.rate)
+    injector = None
+    if args.mtbf is not None:
+        import random
+
+        from repro.faults import MtbfFaultInjector
+
+        injector = MtbfFaultInjector(
+            cloud, rng=random.Random(args.seed),
+            node_mtbf_s=args.mtbf, mttr_s=args.mttr,
+            duration_s=args.duration,
+        )
     engine = LoadEngine(cloud, [service], arrivals)
     report = engine.run(args.duration)
     if rerouter is not None:
         rerouter.stop()
+    if injector is not None:
+        injector.stop()
     print(report.format())
     fleet = report.fleet_summary()
     _, worst = report.worst_burn()
+    rows = [
+        ["routing", args.routing + (" + TE rerouter" if args.te else "")],
+        ["peak concurrent sessions",
+         f"{report.peak_concurrent_sessions:,.0f}"],
+        ["epochs", report.epochs],
+        ["fleet p50", f"{fleet.p50 * 1e3:.1f} ms"],
+        ["fleet p99", f"{fleet.p99 * 1e3:.1f} ms"],
+        ["fleet p999", f"{fleet.p999 * 1e3:.1f} ms"],
+        ["fleet error rate", f"{report.fleet_error_rate():.2e}"],
+        ["worst SLO burn", f"{worst:.2f}x"],
+        ["kernel events", cloud.sim.events_executed],
+    ]
+    if injector is not None:
+        rows.append(["node faults injected", sum(
+            1 for e in injector.log if e.kind == "node-fail"
+        )])
+        rows.append(["node repairs", sum(
+            1 for e in injector.log if e.kind == "node-repair"
+        )])
+        if cloud.pimaster is not None and cloud.pimaster.recovery is not None:
+            rows.append(["containers evacuated",
+                         cloud.pimaster.recovery.containers_evacuated])
+            rows.append(["containers respawned",
+                         cloud.pimaster.recovery.containers_respawned])
     print()
-    print(format_table(
-        ["metric", "value"],
-        [["routing", args.routing + (" + TE rerouter" if args.te else "")],
-         ["peak concurrent sessions",
-          f"{report.peak_concurrent_sessions:,.0f}"],
-         ["epochs", report.epochs],
-         ["fleet p50", f"{fleet.p50 * 1e3:.1f} ms"],
-         ["fleet p99", f"{fleet.p99 * 1e3:.1f} ms"],
-         ["fleet p999", f"{fleet.p999 * 1e3:.1f} ms"],
-         ["fleet error rate", f"{report.fleet_error_rate():.2e}"],
-         ["worst SLO burn", f"{worst:.2f}x"],
-         ["kernel events", cloud.sim.events_executed]],
-    ))
+    print(format_table(["metric", "value"], rows))
     return 0
 
 
@@ -358,6 +383,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="SLO latency threshold (ms)")
     load.add_argument("--objective", type=float, default=0.999,
                       help="SLO objective fraction (default 99.9%%)")
+    load.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
+                      help="inject node faults during the load run with "
+                           "this exponential mean time between failures "
+                           "(pair with --self-healing to watch the "
+                           "recovery plane absorb them)")
+    load.add_argument("--mttr", type=float, default=60.0, metavar="SECONDS",
+                      help="mean time to repair for --mtbf node faults")
     load.add_argument("--te", action="store_true",
                       help="run the elephant-rerouter TE app alongside "
                            "the SDN controller")

@@ -159,6 +159,11 @@ class PiCloud:
         # id, or "a|b" for links): the failure detector parents its
         # health transitions here so detection descends from its cause.
         self._fault_contexts: Dict[str, object] = {}
+        # Gray-failure state: node id -> service-time stretch factor
+        # (>= 1.0) consumed by the load engine's latency model.
+        self._slow_factors: Dict[str, float] = {}
+        # Node groups of the active partition (for heal bookkeeping).
+        self._partition_groups: list[list[str]] = []
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -217,6 +222,9 @@ class PiCloud:
             evacuation_retry_budget=health.evacuation_retry_budget,
             breaker_failure_threshold=health.breaker_failure_threshold,
             breaker_reset_s=health.breaker_reset_s,
+            unreachable_grace_s=health.unreachable_grace_s,
+            fencing=health.fencing,
+            witness_count=health.witness_count,
         )
         self.pimaster.health.fault_context_provider = self.fault_context
         pool = self.pimaster.dhcp.pool
@@ -366,6 +374,108 @@ class PiCloud:
         trace.instant(self.sim, "fault.link-repair", kind="fault",
                       parent=self._fault_contexts.pop(f"{a}|{b}", None),
                       attributes={"target": f"{a}|{b}"}, status="ok")
+
+    # -- gray failures & partitions -------------------------------------------------------
+
+    def degrade_link(self, a: str, b: str, bandwidth_frac: float = 1.0,
+                     extra_latency: float = 0.0, loss: float = 0.0) -> None:
+        """Gray-fail a cable: reduced capacity / added latency / loss.
+
+        The link stays *up* -- nothing is rerouted and no flow dies; the
+        fair-share solver squeezes traffic onto the reduced capacity and
+        the load engine's latency model picks up the loss/latency.
+        Revert with :meth:`restore_link`.
+        """
+        self.network.degrade_link(
+            a, b, bandwidth_frac=bandwidth_frac,
+            extra_latency=extra_latency, loss=loss,
+        )
+        span = trace.instant(
+            self.sim, "fault.link-degrade", kind="fault",
+            attributes={"target": f"{a}|{b}", "bandwidth_frac": bandwidth_frac,
+                        "extra_latency": extra_latency, "loss": loss},
+            status="error",
+        )
+        self._fault_contexts[f"{a}|{b}"] = span.context
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Clear a link's gray-failure state (capacity back to spec)."""
+        if not self.network.link(a, b).degraded:
+            return
+        self.network.restore_link(a, b)
+        trace.instant(self.sim, "fault.link-restore", kind="fault",
+                      parent=self._fault_contexts.pop(f"{a}|{b}", None),
+                      attributes={"target": f"{a}|{b}"}, status="ok")
+
+    def slow_node(self, node_id: str, factor: float) -> None:
+        """Gray-fail a Pi: service times stretch by ``factor`` (>= 1).
+
+        The node keeps answering heartbeats and serving requests -- it is
+        just slow (thermal throttling, a dying SD card).  Consumed by the
+        load engine's latency model; revert with
+        :meth:`restore_node_speed`.
+        """
+        if factor < 1.0:
+            raise PiCloudError(f"slow_node factor must be >= 1, got {factor}")
+        if node_id not in self.machines:
+            raise PiCloudError(f"unknown node {node_id!r}")
+        self._slow_factors[node_id] = factor
+        span = trace.instant(self.sim, "fault.node-slow", kind="fault",
+                             attributes={"target": node_id, "factor": factor},
+                             status="error")
+        self._fault_contexts[node_id] = span.context
+
+    def restore_node_speed(self, node_id: str) -> None:
+        """Clear a node's slow-down (service times back to spec)."""
+        if self._slow_factors.pop(node_id, None) is None:
+            return
+        trace.instant(self.sim, "fault.node-restore", kind="fault",
+                      parent=self._fault_contexts.pop(node_id, None),
+                      attributes={"target": node_id}, status="ok")
+
+    def slow_factor(self, node_id: str) -> float:
+        """The node's current service-time stretch (1.0 = healthy)."""
+        return self._slow_factors.get(node_id, 1.0)
+
+    def partition(self, groups) -> None:
+        """Partition the fabric into isolated reachability groups.
+
+        ``groups`` is a list of node-name groups (hosts and/or switches);
+        unnamed nodes form one implicit "rest" group.  Cross-group
+        traffic -- control plane heartbeats included -- fails until
+        :meth:`heal_partition`.  Nothing is marked dead: every node keeps
+        running, which is exactly what makes partitions dangerous.
+        """
+        groups = [list(group) for group in groups]
+        self.network.set_partition(groups)
+        members = [node for group in groups for node in group]
+        span = trace.instant(
+            self.sim, "fault.partition", kind="fault",
+            attributes={"groups": len(groups), "members": ",".join(members)},
+            status="error",
+        )
+        self._partition_groups = groups
+        self._fault_contexts["partition"] = span.context
+        for node in members:
+            self._fault_contexts[node] = span.context
+
+    def heal_partition(self) -> None:
+        """Heal the active partition; reachability is restored instantly."""
+        if not self.network.partitioned:
+            return
+        self.network.clear_partition()
+        span = trace.instant(
+            self.sim, "fault.partition-heal", kind="fault",
+            parent=self._fault_contexts.pop("partition", None),
+            attributes={}, status="ok",
+        )
+        # Re-point member fault contexts at the heal instant so the
+        # recovery chain (node back ALIVE -> reconcile -> destroys)
+        # traces back to the heal, not the cut.
+        for group in self._partition_groups:
+            for node in group:
+                self._fault_contexts[node] = span.context
+        self._partition_groups = []
 
     def fault_context(self, target: str):
         """Trace context of the latest outstanding fault on ``target``.

@@ -110,6 +110,18 @@ class HealthConfig:
     evacuation_retry_budget: int = 2
     breaker_failure_threshold: int = 5
     breaker_reset_s: float = 60.0
+    # Gen-2 detector (partition-aware).  When unreachable_grace_s > 0,
+    # accrued dead_after_misses puts a node in UNREACHABLE instead of
+    # DEAD: the detector asks witness_count alive peers to probe it, and
+    # only declares DEAD (triggering evacuation) when no witness can
+    # reach it either AND the grace period has elapsed.  0.0 keeps the
+    # legacy binary detector exactly.  ``fencing`` stamps every spawn
+    # with a monotone epoch so daemons reject stale ops and the pimaster
+    # can reconcile duplicate containers deterministically after a
+    # partition heals (newest epoch wins).
+    unreachable_grace_s: float = 0.0
+    fencing: bool = False
+    witness_count: int = 2
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval_s <= 0:
@@ -148,6 +160,15 @@ class HealthConfig:
         if self.breaker_reset_s <= 0:
             raise ConfigurationError(
                 f"breaker_reset_s must be > 0, got {self.breaker_reset_s}"
+            )
+        if self.unreachable_grace_s < 0:
+            raise ConfigurationError(
+                "unreachable_grace_s must be >= 0, "
+                f"got {self.unreachable_grace_s}"
+            )
+        if self.witness_count < 1:
+            raise ConfigurationError(
+                f"witness_count must be >= 1, got {self.witness_count}"
             )
 
 

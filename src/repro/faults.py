@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Literal, Optional, Tuple
+from typing import Dict, Iterable, List, Literal, Optional, Tuple
 
 from repro.core.cloud import PiCloud
 from repro.errors import (
@@ -33,7 +33,13 @@ from repro.errors import (
 )
 from repro.sim.process import Timeout
 
-FaultKind = Literal["node-fail", "node-repair", "link-fail", "link-repair"]
+FaultKind = Literal[
+    "node-fail", "node-repair", "link-fail", "link-repair",
+    # Gray failures (revertible; targets stay "up"):
+    "link-degrade", "link-restore", "node-slow", "node-restore",
+    # Reachability cuts (no element is marked failed at all):
+    "partition", "partition-heal",
+]
 
 
 @dataclass(frozen=True)
@@ -49,44 +55,167 @@ class FaultEvent:
 class FaultSchedule:
     """Scripted fault injection against a booted cloud.
 
-    Build the script with :meth:`fail_node` / :meth:`cut_link` /
-    :meth:`repair_link` / :meth:`repair_node`, then :meth:`arm`.
+    Build the script with the binary faults (:meth:`fail_node` /
+    :meth:`cut_link` / :meth:`repair_link` / :meth:`repair_node`), the
+    gray faults (:meth:`degrade_link` / :meth:`slow_node` and their
+    restores), :meth:`partition` / :meth:`heal_partition`, or the
+    correlated-domain helpers (:meth:`fail_tor` / :meth:`fail_pod` /
+    :meth:`fail_power_domain`, which expand to their member faults at one
+    timestamp, in deterministic member order), then :meth:`arm`.
     Targets are validated at arm time, so a typo'd node or link id fails
     immediately with the valid ids listed -- not minutes into the run
-    when the fault fires.
+    when the fault fires.  Same-timestamp events fire in *script order*
+    (the sort is stable and keys on time only).
     """
 
     cloud: PiCloud
     log: List[FaultEvent] = field(default_factory=list)
     _armed: bool = False
-    _script: List[Tuple[float, FaultKind, str]] = field(default_factory=list)
+    _script: List[Tuple[float, FaultKind, str, Dict]] = field(
+        default_factory=list
+    )
 
     def fail_node(self, at: float, node_id: str) -> "FaultSchedule":
-        self._script.append((at, "node-fail", node_id))
+        self._script.append((at, "node-fail", node_id, {}))
         return self
 
     def repair_node(self, at: float, node_id: str) -> "FaultSchedule":
-        self._script.append((at, "node-repair", node_id))
+        self._script.append((at, "node-repair", node_id, {}))
         return self
 
     def cut_link(self, at: float, a: str, b: str) -> "FaultSchedule":
-        self._script.append((at, "link-fail", f"{a}|{b}"))
+        self._script.append((at, "link-fail", f"{a}|{b}", {}))
         return self
 
     def repair_link(self, at: float, a: str, b: str) -> "FaultSchedule":
-        self._script.append((at, "link-repair", f"{a}|{b}"))
+        self._script.append((at, "link-repair", f"{a}|{b}", {}))
         return self
 
+    # -- gray failures ------------------------------------------------------
+
+    def degrade_link(self, at: float, a: str, b: str,
+                     bandwidth_frac: float = 1.0, extra_latency: float = 0.0,
+                     loss: float = 0.0) -> "FaultSchedule":
+        """Gray-fail a cable at ``at``: it stays up but under-delivers."""
+        if not 0.0 < bandwidth_frac <= 1.0:
+            raise ConfigurationError(
+                f"bandwidth_frac must be in (0, 1], got {bandwidth_frac}"
+            )
+        if extra_latency < 0:
+            raise ConfigurationError(
+                f"extra_latency must be >= 0, got {extra_latency}"
+            )
+        if not 0.0 <= loss < 1.0:
+            raise ConfigurationError(f"loss must be in [0, 1), got {loss}")
+        self._script.append((at, "link-degrade", f"{a}|{b}", {
+            "bandwidth_frac": bandwidth_frac,
+            "extra_latency": extra_latency,
+            "loss": loss,
+        }))
+        return self
+
+    def restore_link(self, at: float, a: str, b: str) -> "FaultSchedule":
+        """Revert a link's gray failure at ``at``."""
+        self._script.append((at, "link-restore", f"{a}|{b}", {}))
+        return self
+
+    def slow_node(self, at: float, node_id: str,
+                  factor: float = 2.0) -> "FaultSchedule":
+        """Gray-fail a Pi at ``at``: service times stretch by ``factor``."""
+        if factor < 1.0:
+            raise ConfigurationError(f"factor must be >= 1, got {factor}")
+        self._script.append((at, "node-slow", node_id, {"factor": factor}))
+        return self
+
+    def restore_node(self, at: float, node_id: str) -> "FaultSchedule":
+        """Revert a node's slow-down at ``at``."""
+        self._script.append((at, "node-restore", node_id, {}))
+        return self
+
+    # -- partitions ---------------------------------------------------------
+
+    def partition(self, at: float,
+                  groups: Iterable[Iterable[str]]) -> "FaultSchedule":
+        """Cut cross-group reachability at ``at`` (nothing marked dead)."""
+        frozen = [list(group) for group in groups]
+        if not frozen or not any(frozen):
+            raise ConfigurationError("partition needs at least one non-empty group")
+        target = ";".join(",".join(group) for group in frozen)
+        self._script.append((at, "partition", target, {"groups": frozen}))
+        return self
+
+    def heal_partition(self, at: float) -> "FaultSchedule":
+        """Heal the active partition at ``at``."""
+        self._script.append((at, "partition-heal", "partition", {}))
+        return self
+
+    # -- correlated failure domains -----------------------------------------
+    #
+    # Real incidents rarely take out one element: a ToR failure severs a
+    # whole rack, a mis-pushed config blackholes a pod, a PDU trip kills
+    # every board on the strip.  These helpers expand a domain into its
+    # member faults *at build time* -- same timestamp, deterministic
+    # (sorted) member order -- so the schedule log shows exactly what
+    # happened and arm-time validation covers every member.
+
+    def fail_tor(self, at: float, tor_id: str) -> "FaultSchedule":
+        """Cut every cable on a top-of-rack switch (severs its rack)."""
+        graph = self.cloud.topology.graph
+        if tor_id not in graph:
+            raise FaultTargetError(f"unknown switch {tor_id!r}")
+        neighbors = sorted(graph.neighbors(tor_id))
+        if not neighbors:
+            raise FaultTargetError(f"switch {tor_id!r} has no cables")
+        for neighbor in neighbors:
+            self.cut_link(at, tor_id, neighbor)
+        return self
+
+    def fail_pod(self, at: float, pod: int) -> "FaultSchedule":
+        """Cut a fat-tree pod's core uplinks (blackholes the whole pod)."""
+        graph = self.cloud.topology.graph
+        prefix = f"p{pod}-agg"
+        aggs = sorted(n for n in graph.nodes if str(n).startswith(prefix))
+        if not aggs:
+            raise FaultTargetError(
+                f"no aggregation switches match {prefix!r}* "
+                "(fail_pod needs a fat-tree topology)"
+            )
+        for agg in aggs:
+            for neighbor in sorted(graph.neighbors(agg)):
+                if str(neighbor).startswith("core"):
+                    self.cut_link(at, agg, neighbor)
+        return self
+
+    def fail_power_domain(self, at: float, rack: str) -> "FaultSchedule":
+        """Hard-fail every Pi in one rack (a PDU / power-strip trip)."""
+        members = sorted(
+            name for name, machine in self.cloud.machines.items()
+            if machine.rack == rack
+        )
+        if not members:
+            valid = sorted({m.rack for m in self.cloud.machines.values()
+                            if m.rack is not None})
+            raise FaultTargetError(
+                f"unknown power domain {rack!r}; valid racks: {', '.join(valid)}"
+            )
+        for name in members:
+            self.fail_node(at, name)
+        return self
+
+    # -- arming -------------------------------------------------------------
+
     def _validate_targets(self) -> None:
-        for _, kind, target in self._script:
-            if kind in ("node-fail", "node-repair"):
+        for _, kind, target, _kwargs in self._script:
+            if kind in ("node-fail", "node-repair", "node-slow",
+                        "node-restore"):
                 if target not in self.cloud.machines:
                     valid = ", ".join(sorted(self.cloud.machines))
                     raise FaultTargetError(
                         f"fault schedule targets unknown node {target!r}; "
                         f"valid nodes: {valid}"
                     )
-            else:
+            elif kind in ("link-fail", "link-repair", "link-degrade",
+                          "link-restore"):
                 a, b = target.split("|")
                 try:
                     self.cloud.network.link(a, b)
@@ -99,17 +228,32 @@ class FaultSchedule:
                         f"fault schedule targets unknown link {target!r}; "
                         f"valid links: {valid}"
                     ) from None
+            elif kind == "partition":
+                for group in _kwargs["groups"]:
+                    for node in group:
+                        if node not in self.cloud.topology.graph:
+                            raise FaultTargetError(
+                                f"partition group names unknown node {node!r}"
+                            )
 
     def arm(self) -> None:
-        """Validate targets and schedule every scripted fault."""
+        """Validate targets and schedule every scripted fault.
+
+        The sort keys on *time only* and is stable, so same-timestamp
+        events fire in the order they were scripted -- a correlated
+        domain's member faults land atomically in a deterministic,
+        author-controlled order (a lexicographic sort used to reorder
+        them by kind/target string).
+        """
         if self._armed:
             raise FaultStateError("fault schedule already armed")
         self._validate_targets()
         self._armed = True
-        for at, kind, target in sorted(self._script):
-            self.cloud.sim.schedule_at(at, self._fire, kind, target)
+        for at, kind, target, kwargs in sorted(self._script,
+                                               key=lambda entry: entry[0]):
+            self.cloud.sim.schedule_at(at, self._fire, kind, target, kwargs)
 
-    def _fire(self, kind: FaultKind, target: str) -> None:
+    def _fire(self, kind: FaultKind, target: str, kwargs: Dict) -> None:
         if kind == "node-fail":
             self.cloud.fail_node(target)
         elif kind == "node-repair":
@@ -120,6 +264,20 @@ class FaultSchedule:
         elif kind == "link-repair":
             a, b = target.split("|")
             self.cloud.repair_link(a, b)
+        elif kind == "link-degrade":
+            a, b = target.split("|")
+            self.cloud.degrade_link(a, b, **kwargs)
+        elif kind == "link-restore":
+            a, b = target.split("|")
+            self.cloud.restore_link(a, b)
+        elif kind == "node-slow":
+            self.cloud.slow_node(target, **kwargs)
+        elif kind == "node-restore":
+            self.cloud.restore_node_speed(target)
+        elif kind == "partition":
+            self.cloud.partition(kwargs["groups"])
+        elif kind == "partition-heal":
+            self.cloud.heal_partition()
         self.log.append(FaultEvent(self.cloud.sim.now, kind, target))
 
 

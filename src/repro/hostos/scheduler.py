@@ -79,7 +79,11 @@ class FairShareScheduler:
         self.sim = sim
         self.cpu = cpu
         self.owner = owner
-        self._tasks: set[Task] = set()
+        # Insertion-ordered (dict-as-set): iteration order is submission
+        # order, identical in every interpreter process.  A real set of
+        # Task objects iterates in id()-hash order, which leaks memory
+        # layout into float-sum ordering and event scheduling order.
+        self._tasks: Dict[Task, None] = {}
         self.tasks_completed = 0
         self.tasks_cancelled = 0
 
@@ -95,7 +99,7 @@ class FairShareScheduler:
             task.completed_at = self.sim.now
             task.done.succeed(task)
             return task
-        self._tasks.add(task)
+        self._tasks[task] = None
         self._recompute()
         return task
 
@@ -130,7 +134,7 @@ class FairShareScheduler:
         task._last_update = self.sim.now
 
     def _detach(self, task: Task) -> None:
-        self._tasks.discard(task)
+        self._tasks.pop(task, None)
         if task._completion_event is not None:
             task._completion_event.cancel()
             task._completion_event = None
@@ -155,7 +159,10 @@ class FairShareScheduler:
             for group in groups
         }
         rates: Dict[Optional[CGroup], float] = {group: 0.0 for group in groups}
-        active = set(groups)
+        # ``groups`` is insertion-ordered off the task list, so water-fill
+        # rounds visit cgroups (and sum their float weights) in the same
+        # order in every process.
+        active = list(groups)
         remaining = capacity
         while active and remaining > 1e-9:
             total_weight = sum(weights[g] for g in active)
@@ -168,7 +175,7 @@ class FairShareScheduler:
                 for group in capped:
                     remaining -= caps[group] - rates[group]
                     rates[group] = caps[group]
-                    active.discard(group)
+                active = [g for g in active if g not in capped]
                 continue
             for group in active:
                 rates[group] += remaining * weights[group] / total_weight

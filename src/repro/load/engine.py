@@ -21,13 +21,29 @@ point of running user-scale experiments on the scale model.
 
 Latency model (per request, for an aggregate-epoch)::
 
-    latency = rtt + service_time + (response_bytes / burst_rate) * stretch
+    latency = rtt * retx + service_time * slow
+              + (response_bytes / burst_rate) * stretch * retx
     stretch = max(1, offered_rate / achieved_rate)
+    retx    = 1 / (1 - path_loss)
+    slow    = cloud.slow_factor(replica_node)
 
 where ``achieved_rate`` is what the fair-share solver actually granted
-the aggregate's flow.  Requests shed by the ``backlog_epochs`` guard are
-recorded at ``inf`` (the histogram overflow bucket) and count against
-the SLO -- overload shows up as burn, not as silent queueing.
+the aggregate's flow, ``path_loss`` is the combined packet-loss
+probability of the (possibly degraded) links on the flow's path, and
+``slow`` is the gray-failure service-time stretch of the replica's
+host.  A healthy path (``loss == 0``, ``slow == 1``) multiplies by
+exactly ``1.0`` everywhere, so runs without gray faults are
+bit-identical to the pre-gray-failure model.  Requests shed by the
+``backlog_epochs`` guard are recorded at ``inf`` (the histogram
+overflow bucket) and count against the SLO -- overload shows up as
+burn, not as silent queueing.
+
+When the gen-2 failure detector is active, replicas on DEAD or
+UNREACHABLE nodes are excluded from resolution; demand that loses
+*every* replica to exclusion is deferred and retried on later epochs
+(aging out as shed past ``backlog_epochs``) instead of being silently
+recorded at ``inf`` -- a partitioned service burns SLO for the epochs
+it was dark, then recovers when the partition heals.
 """
 
 from __future__ import annotations
@@ -68,6 +84,8 @@ class ServiceReport:
     peak_concurrent: float = 0.0
     offered_requests: float = 0.0
     shed_requests: float = 0.0
+    deferred_requests: float = 0.0
+    retried_requests: float = 0.0
     flows_started: int = 0
     flows_completed: int = 0
     flows_failed: int = 0
@@ -83,6 +101,8 @@ class ServiceReport:
             "peak_concurrent": self.peak_concurrent,
             "offered_requests": self.offered_requests,
             "shed_requests": self.shed_requests,
+            "deferred_requests": self.deferred_requests,
+            "retried_requests": self.retried_requests,
             "p50_ms": s.p50 * 1e3,
             "p99_ms": s.p99 * 1e3,
             "p999_ms": s.p999 * 1e3,
@@ -304,6 +324,15 @@ class LoadEngine:
         }
         self._aggregates: Dict[Tuple[str, str, str], Aggregate] = {}
         self._replicas: Dict[str, List[str]] = {}
+        # Replicas dropped because their host is DEAD/UNREACHABLE (gen-2
+        # detector only) -- distinguishes "service has no replicas" from
+        # "all replicas are behind a partition", which defers instead of
+        # shedding.
+        self._excluded: Dict[str, int] = {}
+        # Deferred request mass per (service, region): [requests, age]
+        # pairs retried on later epochs until replicas come back or the
+        # entry ages past backlog_epochs.
+        self._deferred: Dict[Tuple[str, str], List[List[float]]] = {}
         self._reports: Dict[str, ServiceReport] = {
             service.name: ServiceReport(
                 name=service.name,
@@ -411,12 +440,22 @@ class LoadEngine:
         return {_GLOBAL_REGION: count}
 
     def _refresh_replicas(self) -> None:
-        """Re-resolve every service's replica hosts (placement + DNS)."""
+        """Re-resolve every service's replica hosts (placement + DNS).
+
+        With the gen-2 failure detector active, replicas whose host is
+        DEAD or UNREACHABLE are excluded (counted in ``self._excluded``)
+        so partitioned demand defers instead of targeting a host that
+        cannot answer.  The legacy detector keeps the historical
+        behaviour -- resolution is purely placement + DNS.
+        """
         for service in self.services:
-            if service.nodes is not None:
-                self._replicas[service.name] = sorted(service.nodes)
-                continue
             pimaster = getattr(self.cloud, "pimaster", None)
+            if service.nodes is not None:
+                nodes = sorted(service.nodes)
+                self._replicas[service.name], self._excluded[service.name] = (
+                    self._filter_unhealthy(pimaster, nodes)
+                )
+                continue
             if pimaster is None:
                 raise LoadError(
                     f"service {service.name!r} uses group= resolution but "
@@ -431,23 +470,78 @@ class LoadEngine:
                 except PiCloudError:
                     continue           # not (yet) resolvable: skip replica
                 nodes.append(record.node_id)
-            self._replicas[service.name] = sorted(set(nodes))
+            self._replicas[service.name], self._excluded[service.name] = (
+                self._filter_unhealthy(pimaster, sorted(set(nodes)))
+            )
+
+    @staticmethod
+    def _filter_unhealthy(pimaster, nodes: List[str]) -> Tuple[List[str], int]:
+        """Drop DEAD/UNREACHABLE hosts under the gen-2 detector only."""
+        if pimaster is None or not pimaster.health.partition_aware:
+            return nodes, 0
+        from repro.mgmt.health import NodeHealth
+
+        healthy = [
+            node for node in nodes
+            if pimaster.health.state(node) not in (NodeHealth.DEAD,
+                                                   NodeHealth.UNREACHABLE)
+        ]
+        return healthy, len(nodes) - len(healthy)
 
     def _offer(self, service: Service, region: str, sessions: float,
                t0: float, dt: float) -> None:
         """Turn one (service, region) pool into aggregate epoch flows."""
         profile = service.profile
         requests = sessions * profile.requests_per_session_per_s * dt
-        if requests <= 0:
-            return
         report = self._reports[service.name]
-        report.offered_requests += requests
+        if requests > 0:
+            report.offered_requests += requests
         replicas = self._replicas.get(service.name) or []
         edges = self.region_edges[region]
+        deferred = self._deferred.get((service.name, region))
         if not replicas:
-            # Nothing to serve the demand: everything is shed.
-            self._record(service, t0, requests, math.inf)
-            report.shed_requests += requests
+            if requests <= 0 and not deferred:
+                return
+            if self._excluded.get(service.name, 0) > 0:
+                # Every replica exists but is DEAD/UNREACHABLE (gen-2
+                # detector): defer this epoch's demand and retry when a
+                # later epoch resolves replicas again, instead of the
+                # silent +inf record.  Entries age out as shed once they
+                # have waited backlog_epochs epochs.
+                kept: List[List[float]] = []
+                for entry in deferred or []:
+                    entry[1] += 1.0
+                    if entry[1] >= self.backlog_epochs:
+                        report.shed_requests += entry[0]
+                        self._record(service, t0, entry[0], math.inf)
+                    else:
+                        kept.append(entry)
+                if requests > 0:
+                    kept.append([requests, 0.0])
+                    report.deferred_requests += requests
+                if kept:
+                    self._deferred[(service.name, region)] = kept
+                else:
+                    self._deferred.pop((service.name, region), None)
+                return
+            # Nothing to serve the demand, and nothing excluded that
+            # could come back: everything (including backlog) is shed.
+            for entry in deferred or []:
+                report.shed_requests += entry[0]
+                self._record(service, t0, entry[0], math.inf)
+            self._deferred.pop((service.name, region), None)
+            if requests > 0:
+                self._record(service, t0, requests, math.inf)
+                report.shed_requests += requests
+            return
+        if deferred:
+            # Replicas are resolvable again: fold the deferred backlog
+            # into this epoch's offered mass.
+            retried = sum(entry[0] for entry in deferred)
+            requests += retried
+            report.retried_requests += retried
+            self._deferred.pop((service.name, region), None)
+        if requests <= 0:
             return
         per_edge = requests / len(edges)
         for edge in edges:
@@ -512,7 +606,15 @@ class LoadEngine:
     def _settle(self, aggregate: Aggregate, flow: "FlowTransfer",
                 requests: float, offered_rate: float,
                 demand_bytes: float) -> None:
-        """Flow done: achieved rate -> stretch -> request latency."""
+        """Flow done: achieved rate -> stretch -> request latency.
+
+        Gray failures feed in here: degraded-link loss along the flow's
+        path inflates the network components by the expected
+        retransmission factor ``1 / (1 - loss)``, and a slowed replica
+        host stretches the service-time component.  Both factors are
+        exactly ``1.0`` on healthy paths, keeping fault-free runs
+        bit-identical.
+        """
         one_way = sum(d.latency for d in flow.directions)
         if aggregate.rtt_s is None:
             aggregate.rtt_s = 2.0 * one_way
@@ -520,11 +622,16 @@ class LoadEngine:
         transfer_time = max(duration - one_way, 1e-12)
         achieved_rate = demand_bytes / transfer_time
         stretch = max(1.0, offered_rate / achieved_rate)
+        loss = 1.0
+        for d in flow.directions:
+            loss *= 1.0 - d.link.loss
+        retx = 1.0 / loss
+        slow = self.cloud.slow_factor(aggregate.replica_node)
         profile = aggregate.service.profile
         latency = (
-            2.0 * one_way
-            + profile.service_time_s
-            + (profile.response_bytes / profile.burst_rate) * stretch
+            2.0 * one_way * retx
+            + profile.service_time_s * slow
+            + (profile.response_bytes / profile.burst_rate) * stretch * retx
         )
         self._record(aggregate.service, self.sim.now, requests, latency)
 

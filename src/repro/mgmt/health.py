@@ -40,10 +40,19 @@ DEFAULT_DEAD_MISSES = 4
 
 
 class NodeHealth(enum.Enum):
-    """Lifecycle state of one managed node, as seen by the pimaster."""
+    """Lifecycle state of one managed node, as seen by the pimaster.
+
+    UNREACHABLE is the gen-2 (partition-aware) detector's refinement of
+    DEAD: the pimaster cannot reach the node, but it has not proven the
+    node is down -- a partitioned node looks exactly like a dead one from
+    one vantage point.  UNREACHABLE nodes are never auto-evacuated; only
+    after ``unreachable_grace_s`` elapses *and* no witness peer can reach
+    the node either does it become DEAD.
+    """
 
     ALIVE = "alive"
     SUSPECT = "suspect"
+    UNREACHABLE = "unreachable"
     DEAD = "dead"
     REJOINING = "rejoining"
 
@@ -164,6 +173,8 @@ class FailureDetector:
         fault_context_provider: Optional[
             Callable[[str], Optional[SpanContext]]] = None,
         breaker_for: Optional[Callable[[str], Optional[CircuitBreaker]]] = None,
+        unreachable_grace_s: float = 0.0,
+        witness_count: int = 2,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -172,12 +183,22 @@ class FailureDetector:
                 "need 1 <= suspect_misses < dead_misses "
                 f"(got {suspect_misses}, {dead_misses})"
             )
+        if unreachable_grace_s < 0:
+            raise ValueError("unreachable_grace_s must be >= 0")
+        if witness_count < 1:
+            raise ValueError("witness_count must be >= 1")
         self.sim = sim
         self.client = client
         self.interval_s = interval_s
         self.suspect_misses = suspect_misses
         self.dead_misses = dead_misses
         self.daemon_port = daemon_port
+        # Gen-2 (partition-aware) detection: > 0 switches accrued
+        # dead_misses to UNREACHABLE and requires witness corroboration
+        # plus grace expiry before declaring DEAD.  0.0 = legacy binary
+        # detector, byte-identical behaviour.
+        self.unreachable_grace_s = unreachable_grace_s
+        self.witness_count = witness_count
         self.fault_context_provider = fault_context_provider
         self.breaker_for = breaker_for
         self._targets: Dict[str, str] = {}          # node_id -> management IP
@@ -190,8 +211,20 @@ class FailureDetector:
         self.heartbeats_sent = 0
         self.heartbeats_missed = 0
         self.transitions: Dict[str, int] = {}       # "alive->suspect" -> count
+        # Gen-2 bookkeeping: when each node entered UNREACHABLE, the
+        # cumulative seconds spent there, and witness-probe counters.
+        self._unreachable_since: Dict[str, float] = {}
+        self.unreachable_s = 0.0
+        self.witness_probes = 0
+        self.witness_confirmations = 0
+        self._witness_inflight: set[str] = set()
         self._stopped = False
         self._process = None
+
+    @property
+    def partition_aware(self) -> bool:
+        """True when the gen-2 (UNREACHABLE + witness) detector is on."""
+        return self.unreachable_grace_s > 0
 
     # -- membership -------------------------------------------------------
 
@@ -240,11 +273,15 @@ class FailureDetector:
 
     def _probe_loop(self):
         while not self._stopped:
+            # Legacy mode writes DEAD off permanently (rejoin is the only
+            # way back); the gen-2 detector keeps probing UNREACHABLE and
+            # DEAD nodes so a partition heal is noticed promptly.
             probes = [
                 self.sim.process(self._probe(node_id, ip),
                                  name=f"health.probe:{node_id}")
                 for node_id, ip in sorted(self._targets.items())
-                if self._states.get(node_id) is not NodeHealth.DEAD
+                if (self.partition_aware
+                    or self._states.get(node_id) is not NodeHealth.DEAD)
             ]
             if probes:
                 yield AllOf(self.sim, probes)
@@ -270,24 +307,87 @@ class FailureDetector:
             if breaker is not None:
                 breaker.record_failure()
             self._heartbeat_miss(node_id)
+            if (self.partition_aware
+                    and self._states.get(node_id) is NodeHealth.UNREACHABLE
+                    and node_id not in self._witness_inflight):
+                since = self._unreachable_since.get(node_id)
+                if (since is not None
+                        and self.sim.now - since >= self.unreachable_grace_s):
+                    self._witness_inflight.add(node_id)
+                    try:
+                        yield from self._witness_check(node_id, ip)
+                    finally:
+                        self._witness_inflight.discard(node_id)
+
+    def _witness_check(self, node_id: str, ip: str):
+        """Ask alive peers whether *they* can reach the node.
+
+        An UNREACHABLE node whose grace period has expired is only
+        declared DEAD when none of up to ``witness_count`` alive peers
+        can reach its daemon either -- that distinguishes "the pimaster
+        is partitioned from it" (a witness inside the partition still
+        sees it) from "it is actually down".  A positive witness keeps
+        the node UNREACHABLE indefinitely: its containers keep running
+        and must not be double-spawned.
+        """
+        witnesses = [
+            peer for peer, state in sorted(self._states.items())
+            if peer != node_id and peer in self._targets
+            and state is NodeHealth.ALIVE
+        ][:self.witness_count]
+        reachable = False
+        for peer in witnesses:
+            self.witness_probes += 1
+            try:
+                response = yield self.client.post(
+                    self._targets[peer], self.daemon_port, "/probe",
+                    {"ip": ip, "port": self.daemon_port},
+                )
+                if response.ok and (response.body or {}).get("reachable"):
+                    reachable = True
+                    break
+            except Exception:  # noqa: BLE001 - witness unreachable too
+                continue
+        if self._stopped or node_id not in self._targets:
+            return
+        if reachable:
+            self.witness_confirmations += 1
+            return
+        since = self._unreachable_since.get(node_id)
+        if (self._states.get(node_id) is NodeHealth.UNREACHABLE
+                and since is not None
+                and self.sim.now - since >= self.unreachable_grace_s):
+            self._transition(node_id, NodeHealth.DEAD)
 
     def _heartbeat_ok(self, node_id: str) -> None:
         self._misses[node_id] = 0
         state = self._states.get(node_id)
-        if state in (NodeHealth.SUSPECT, NodeHealth.REJOINING):
+        recoverable = (NodeHealth.SUSPECT, NodeHealth.REJOINING)
+        if self.partition_aware:
+            # A heal makes an UNREACHABLE (or witness-less false-DEAD)
+            # node answer again; legacy mode never probes DEAD nodes so
+            # this branch cannot fire there.
+            recoverable = (NodeHealth.SUSPECT, NodeHealth.REJOINING,
+                           NodeHealth.UNREACHABLE, NodeHealth.DEAD)
+        if state in recoverable:
             self._transition(node_id, NodeHealth.ALIVE)
 
     def _heartbeat_miss(self, node_id: str) -> None:
         misses = self._misses.get(node_id, 0) + 1
         self._misses[node_id] = misses
         state = self._states.get(node_id, NodeHealth.ALIVE)
+        # The gen-2 detector interposes UNREACHABLE where the legacy one
+        # jumps straight to DEAD; the UNREACHABLE -> DEAD step then needs
+        # witness corroboration + grace expiry (see _witness_check).
+        terminal = (NodeHealth.UNREACHABLE if self.partition_aware
+                    else NodeHealth.DEAD)
         if state in (NodeHealth.ALIVE, NodeHealth.REJOINING):
             if misses >= self.suspect_misses:
                 self._transition(node_id, NodeHealth.SUSPECT)
                 if misses >= self.dead_misses:
-                    self._transition(node_id, NodeHealth.DEAD)
+                    self._transition(node_id, terminal)
         elif state is NodeHealth.SUSPECT and misses >= self.dead_misses:
-            self._transition(node_id, NodeHealth.DEAD)
+            self._transition(node_id, terminal)
 
     # -- the state machine ------------------------------------------------
 
@@ -301,23 +401,47 @@ class FailureDetector:
         if old is new:
             return
         self._states[node_id] = new
+        now = self.sim.now
+        if old is NodeHealth.UNREACHABLE:
+            since = self._unreachable_since.pop(node_id, None)
+            if since is not None:
+                self.unreachable_s += now - since
+        if new is NodeHealth.UNREACHABLE:
+            self._unreachable_since[node_id] = now
         key = f"{old.value}->{new.value}"
         self.transitions[key] = self.transitions.get(key, 0) + 1
         ctx = parent
         if ctx is None:
             # Entering suspicion chains onto the causing fault (when the
             # cloud knows one); deeper transitions chain onto the previous
-            # transition so the whole episode shares one trace.
+            # transition so the whole episode shares one trace.  A gen-2
+            # recovery (UNREACHABLE/DEAD answering again) chains onto the
+            # *heal* instant instead -- the cloud re-points the node's
+            # fault context at the heal -- so reconciliation provably
+            # descends from the partition healing.
             if new is NodeHealth.SUSPECT and self.fault_context_provider:
+                ctx = self.fault_context_provider(node_id)
+            elif (new is NodeHealth.ALIVE
+                    and old in (NodeHealth.UNREACHABLE, NodeHealth.DEAD)
+                    and self.fault_context_provider):
                 ctx = self.fault_context_provider(node_id)
             if ctx is None:
                 ctx = self._last_ctx.get(node_id)
         span = trace.instant(
             self.sim, f"health.node-{new.value}", parent=ctx, kind="health",
             attributes={"node": node_id, "from": old.value},
-            status="error" if new is NodeHealth.DEAD else "ok",
+            status="error" if new in (NodeHealth.DEAD,
+                                      NodeHealth.UNREACHABLE) else "ok",
         )
         context = span.context
         self._last_ctx[node_id] = context
         for listener in list(self._listeners):
             listener(node_id, old, new, context)
+
+    def unreachable_seconds(self) -> float:
+        """Cumulative seconds nodes have spent UNREACHABLE (open included)."""
+        total = self.unreachable_s
+        now = self.sim.now
+        for since in self._unreachable_since.values():
+            total += now - since
+        return total

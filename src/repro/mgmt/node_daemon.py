@@ -30,7 +30,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import DeadlineExceeded, PiCloudError, RestError
 from repro.hostos.kernelhost import HostKernel
-from repro.mgmt.rest import RestRequest, RestServer
+from repro.mgmt.rest import RestClient, RestRequest, RestServer
 from repro.sim.process import AnyOf, Signal, Timeout
 from repro.virt.container import ContainerState
 from repro.virt.image import ContainerImage
@@ -72,6 +72,14 @@ class NodeDaemon:
         self._idem_results: Dict[str, Tuple[int, object]] = {}
         self._idem_inflight: Dict[str, Signal] = {}
         self.idempotent_replays = 0
+        # Fencing: highest epoch ever seen per container name.  Creates
+        # and epoch-stamped destroys below the recorded epoch are stale
+        # (issued before a partition by a pimaster that has since moved
+        # on) and are rejected with 409.  Populated only when the
+        # pimaster runs with fencing on; never pruned -- the whole point
+        # is to remember epochs across a container's destruction.
+        self._container_epochs: Dict[str, int] = {}
+        self.stale_epoch_rejections = 0
         self.server = RestServer(kernel, port, name=f"daemon:{kernel.node_id}")
         self._register_routes()
 
@@ -165,6 +173,7 @@ class NodeDaemon:
         server = self.server
         server.add_route("GET", "/health", self._health)
         server.add_route("GET", "/metrics", self._metrics)
+        server.add_route("POST", "/probe", self._probe_peer)
         server.add_route("GET", "/containers", self._list_containers)
         server.add_route("POST", "/images", self._receive_image)
         server.add_route("POST", "/containers", self._create_container)
@@ -179,6 +188,30 @@ class NodeDaemon:
 
     def _health(self, request: RestRequest):
         return 200, {"status": "ok", "node": self.node_id, "time": self.sim.now}
+
+    def _probe_peer(self, request: RestRequest):
+        """Witness probe: can *this* node reach the given daemon?
+
+        The gen-2 failure detector asks alive peers to corroborate an
+        UNREACHABLE verdict before declaring a node DEAD.  The answer is
+        from this node's vantage point on the fabric, so a node on the
+        pimaster's far side of a partition answers "reachable" for its
+        partition-mates.
+        """
+        body = request.body or {}
+        target_ip = body.get("ip")
+        if target_ip is None:
+            raise RestError(400, "missing field 'ip'")
+        port = body.get("port", NODE_DAEMON_PORT)
+        client = RestClient(self.kernel.netstack, timeout_s=2.0)
+        reachable = False
+        try:
+            response = yield client.get(target_ip, port, "/health")
+            reachable = response.ok
+        except Exception:  # noqa: BLE001 - unreachable from here too
+            reachable = False
+        return 200, {"witness": self.node_id, "ip": target_ip,
+                     "reachable": reachable}
 
     def _metrics(self, request: RestRequest):
         machine = self.kernel.machine
@@ -195,7 +228,16 @@ class NodeDaemon:
         }
 
     def _list_containers(self, request: RestRequest):
-        return 200, [c.describe() for c in self.runtime.containers()]
+        rows = []
+        for container in self.runtime.containers():
+            row = container.describe()
+            # Fencing epoch, only for containers spawned with one -- the
+            # wire format is unchanged for unfenced deployments.
+            epoch = self._container_epochs.get(container.name)
+            if epoch is not None:
+                row["epoch"] = epoch
+            rows.append(row)
+        return 200, rows
 
     def _receive_image(self, request: RestRequest):
         body = request.body or {}
@@ -232,7 +274,40 @@ class NodeDaemon:
         )
         return result
 
+    def _check_epoch(self, name: str, epoch: Optional[int], op: str) -> None:
+        """Fencing gate: reject ops stamped with an epoch we've outgrown."""
+        if epoch is None:
+            return
+        current = self._container_epochs.get(name)
+        if current is not None and epoch < current:
+            self.stale_epoch_rejections += 1
+            raise RestError(
+                409,
+                f"stale fencing epoch {epoch} for {name!r} on "
+                f"{self.node_id} (current epoch {current}); {op} rejected",
+            )
+
     def _create_container_work(self, body: dict, ctx):
+        name = body["name"]
+        epoch = body.get("epoch")
+        self._check_epoch(name, epoch, "create")
+        if epoch is not None:
+            current = self._container_epochs.get(name)
+            if current is not None and epoch > current:
+                # A newer-epoch create supersedes any copy this node still
+                # runs -- e.g. a stale replica that survived behind a healed
+                # partition while the pimaster respawned the name elsewhere
+                # and then placed it back here.  Newest epoch wins: the old
+                # incarnation is destroyed before the new one is created.
+                try:
+                    stale = self.runtime.container(name)
+                except PiCloudError:
+                    stale = None
+                if stale is not None:
+                    if stale.state in (ContainerState.RUNNING,
+                                       ContainerState.FROZEN):
+                        self.runtime.lxc_stop(stale)
+                    self.runtime.lxc_destroy(stale)
         image = self._images.get(body["image"])
         if image is None:
             raise RestError(409, f"image {body['image']!r} not cached on {self.node_id}")
@@ -265,6 +340,8 @@ class NodeDaemon:
             except Exception as exc:
                 self.runtime.lxc_destroy(container)
                 raise RestError(507, f"start failed: {exc}") from exc
+        if epoch is not None:
+            self._container_epochs[name] = epoch
         return 201, container.describe()
 
     def _container_or_404(self, name: str):
@@ -399,11 +476,16 @@ class NodeDaemon:
         body = request.body or {}
         result = yield from self._idempotent(
             body.get("idempotency_key"),
-            lambda: self._destroy_work(name),
+            lambda: self._destroy_work(name, body.get("epoch")),
         )
         return result
 
-    def _destroy_work(self, name: str):
+    def _destroy_work(self, name: str, epoch: Optional[int] = None):
+        # An epoch-stamped destroy must not kill a *newer* incarnation
+        # (a stale destroy retry from before a partition); destroys
+        # without an epoch are unfenced (legacy / operator-driven) and
+        # always allowed.
+        self._check_epoch(name, epoch, "destroy")
         container = self._container_or_404(name)
         if container.state in (ContainerState.RUNNING, ContainerState.FROZEN):
             self.runtime.lxc_stop(container)

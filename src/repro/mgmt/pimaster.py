@@ -49,7 +49,13 @@ class NodeRecord:
 
 @dataclass
 class ContainerRecord:
-    """Registry row for one managed container."""
+    """Registry row for one managed container.
+
+    ``epoch`` is the fencing epoch the container was spawned with (None
+    when fencing is off): a strictly increasing per-pimaster counter, so
+    of two incarnations of the same container the one with the higher
+    epoch is authoritative.
+    """
 
     name: str
     node_id: str
@@ -57,6 +63,7 @@ class ContainerRecord:
     ip: str
     fqdn: str
     group: Optional[str] = None
+    epoch: Optional[int] = None
 
 
 class PiMaster:
@@ -83,6 +90,9 @@ class PiMaster:
         evacuation_retry_budget: int = 2,
         breaker_failure_threshold: int = 5,
         breaker_reset_s: float = 60.0,
+        unreachable_grace_s: float = 0.0,
+        fencing: bool = False,
+        witness_count: int = 2,
     ) -> None:
         self.kernel = kernel
         self.sim = kernel.sim
@@ -134,7 +144,19 @@ class PiMaster:
             dead_misses=dead_after_misses,
             daemon_port=NODE_DAEMON_PORT,
             breaker_for=self._breakers.get,
+            unreachable_grace_s=unreachable_grace_s,
+            witness_count=witness_count,
         )
+        # Split-brain safety: when fencing is on, every spawn carries the
+        # next value of this monotone counter, daemons reject stale-epoch
+        # ops, and a node coming back from UNREACHABLE/DEAD is reconciled
+        # (its stale duplicate containers destroyed -- newest epoch wins).
+        self.fencing = fencing
+        self.fencing_epoch = 0
+        self.reconciles = 0
+        self.duplicate_container_epochs = 0
+        self.false_dead_evacuations = 0
+        self._evacuated_nodes: set[str] = set()
         self.recovery = RecoveryManager(
             self,
             queue_limit=evacuation_queue_limit,
@@ -177,10 +199,142 @@ class PiMaster:
         A dead node stops being polled (its monitoring probes would only
         burn the detector's work) and its image cache is forgotten -- the
         repair path re-images the SD card, so anything cached is gone.
+
+        A node coming straight back ALIVE from UNREACHABLE or DEAD (the
+        gen-2 detector's partition-heal path: the node was never actually
+        down) is re-polled and *reconciled*: its containers are listed
+        and compared against the registry, so duplicates created by an
+        evacuation during the partition are resolved (fencing on: newest
+        epoch wins, the stale copy is destroyed) or at least counted
+        (fencing off: the split-brain double-run is left visible in
+        ``duplicate_container_epochs``).
         """
         if new is NodeHealth.DEAD:
             self.monitoring.unwatch(node_id)
             self.images.invalidate_node(node_id)
+            self._evacuated_nodes.add(node_id)
+        elif (new is NodeHealth.ALIVE
+                and old in (NodeHealth.UNREACHABLE, NodeHealth.DEAD)):
+            if old is NodeHealth.DEAD and node_id in self._evacuated_nodes:
+                # The detector buried a live node and recovery respawned
+                # its containers elsewhere: a false positive with real
+                # cost (the split-brain input).
+                self.false_dead_evacuations += 1
+            self._evacuated_nodes.discard(node_id)
+            record = self._nodes.get(node_id)
+            if record is not None:
+                if old is NodeHealth.DEAD:
+                    self.monitoring.watch(node_id, record.ip)
+                self.sim.process(
+                    self._reconcile(node_id, context),
+                    name=f"reconcile:{node_id}",
+                )
+
+    def _reconcile(self, node_id: str, parent=None):
+        """Resolve container state divergence after a node comes back.
+
+        Lists the node's actual containers and compares against the
+        registry.  Three cases per listed container:
+
+        * registry row points at this node -- consistent, nothing to do;
+        * registry row points at *another* node -- a duplicate:
+          evacuation respawned it elsewhere while this node (alive all
+          along) kept its copy running.  With fencing the lower epoch
+          loses and is destroyed here; without fencing both copies keep
+          running and the duplicate is counted;
+        * no registry row -- an orphan (destroyed while unreachable);
+          destroyed here when fencing is on.
+        """
+        record = self._nodes.get(node_id)
+        if record is None:
+            return
+        self.reconciles += 1
+        span = trace.start_span(
+            self.sim, "mgmt.reconcile", parent=parent, kind="mgmt",
+            attributes={"node": node_id, "fencing": self.fencing},
+        )
+        try:
+            response = yield from self._call_with_retry(
+                lambda attempt: self.client.get(
+                    record.ip, NODE_DAEMON_PORT, "/containers", parent=attempt,
+                ),
+                f"reconcile listing of {node_id}",
+                parent=span,
+                node_id=node_id,
+            )
+            response.raise_for_status()
+        except Exception as exc:  # noqa: BLE001 - node flapped again
+            span.end("error", str(exc))
+            return
+        rows = sorted(response.body or [], key=lambda r: r.get("name", ""))
+        duplicates = 0
+        destroyed = 0
+        for row in rows:
+            name = row.get("name")
+            registry = self._containers.get(name)
+            if registry is not None and registry.node_id == node_id:
+                continue  # consistent
+            stale_epoch = row.get("epoch")
+            if registry is not None:
+                # Duplicate incarnations.  The registry copy is the one
+                # the pimaster respawned (higher epoch when fencing is
+                # on); the listed copy survived the partition.
+                if not self.fencing:
+                    duplicates += 1
+                    self.duplicate_container_epochs += 1
+                    continue
+                winner_epoch = registry.epoch
+                if (stale_epoch is not None and winner_epoch is not None
+                        and stale_epoch > winner_epoch):
+                    # Cannot happen with a single spawner; if it ever
+                    # does, the listed copy is authoritative -- repoint
+                    # the registry instead of destroying the newer copy.
+                    self._untrack_group(registry)
+                    registry.node_id = node_id
+                    registry.epoch = stale_epoch
+                    self._track_group(registry)
+                    continue
+            elif not self.fencing:
+                continue  # orphan, but we have no authority to kill it
+            destroy_epoch = (self._containers[name].epoch
+                             if registry is not None else self.fencing_epoch)
+            try:
+                yield from self._destroy_stale(
+                    node_id, record.ip, name, destroy_epoch, span,
+                )
+                destroyed += 1
+            except Exception:  # noqa: BLE001 - daemon refused / vanished
+                continue
+        span.set_attribute("duplicates", duplicates)
+        span.set_attribute("destroyed", destroyed)
+        span.end("ok")
+
+    def _destroy_stale(self, node_id: str, ip: str, name: str,
+                       epoch: Optional[int], parent):
+        """Fence off a stale container copy on a healed node."""
+        self._destroy_seq += 1
+        body = {"idempotency_key": f"fence:{name}:{self._destroy_seq}"}
+        if epoch is not None:
+            body["epoch"] = epoch
+        destroy_span = trace.start_span(
+            self.sim, "mgmt.fence-destroy", parent=parent, kind="mgmt",
+            attributes={"container": name, "node": node_id, "epoch": epoch},
+        )
+        try:
+            response = yield from self._call_with_retry(
+                lambda attempt: self.client.delete(
+                    ip, NODE_DAEMON_PORT, f"/containers/{name}",
+                    body=body, parent=attempt,
+                ),
+                f"fence destroy of stale {name!r} on {node_id}",
+                parent=destroy_span,
+                node_id=node_id,
+            )
+            response.raise_for_status()
+        except Exception as exc:  # noqa: BLE001
+            destroy_span.end("error", str(exc))
+            raise
+        destroy_span.end("ok")
 
     def rejoin_node(self, daemon: NodeDaemon, ip: str, parent=None) -> Signal:
         """Re-enroll a repaired node; Signal -> NodeRecord.
@@ -325,10 +479,22 @@ class PiMaster:
         return found
 
     def node_views(self) -> list[NodeView]:
-        """Current snapshot of every registered node, in node-id order."""
+        """Current snapshot of every registered node, in node-id order.
+
+        Under the gen-2 failure detector, DEAD and UNREACHABLE nodes are
+        not placement candidates: their machines may still report
+        powered-on (a partitioned node *is* on), but a spawn routed there
+        cannot succeed -- and respawning a partitioned replica onto its
+        own dark pod would defeat the evacuation.  The legacy detector
+        keeps the historical view (DEAD usually implies powered-off).
+        """
         views = []
         synced = False
+        partition_aware = self.health.partition_aware
         for node_id in self.node_ids():
+            if partition_aware and self.health.state(node_id) in (
+                    NodeHealth.DEAD, NodeHealth.UNREACHABLE):
+                continue
             daemon = self._nodes[node_id].daemon
             machine = daemon.kernel.machine
             groups = tuple(sorted(self._node_groups.get(node_id, ())))
@@ -457,6 +623,14 @@ class PiMaster:
         # that already created the container answers from its idempotency
         # cache instead of double-creating.
         idempotency_key = f"spawn:{container_name}:{self._spawn_seq}"
+        # Fencing: stamp the spawn with the next epoch so the daemon can
+        # reject stale ops and reconciliation can order incarnations.
+        # Off by default -- the field is absent from the wire format, so
+        # unfenced deployments see byte-identical request sizes.
+        epoch: Optional[int] = None
+        if self.fencing:
+            self.fencing_epoch += 1
+            epoch = self.fencing_epoch
         span = trace.start_span(
             self.sim, "mgmt.spawn", parent=parent, kind="mgmt",
             attributes={"image": container_image.name, "container": container_name},
@@ -498,18 +672,21 @@ class PiMaster:
                 lease = self.dhcp.request_lease(
                     client_id=container_name, hostname=container_name
                 )
+                body = {
+                    "name": container_name,
+                    "image": container_image.qualified_name,
+                    "ip": lease.ip,
+                    "cpu_shares": cpu_shares,
+                    "cpu_quota": cpu_quota,
+                    "memory_limit_bytes": memory_limit_bytes,
+                    "idempotency_key": idempotency_key,
+                }
+                if epoch is not None:
+                    body["epoch"] = epoch
                 response = yield from self._call_with_retry(
                     lambda attempt: self.client.post(
                         record.ip, NODE_DAEMON_PORT, "/containers",
-                        body={
-                            "name": container_name,
-                            "image": container_image.qualified_name,
-                            "ip": lease.ip,
-                            "cpu_shares": cpu_shares,
-                            "cpu_quota": cpu_quota,
-                            "memory_limit_bytes": memory_limit_bytes,
-                            "idempotency_key": idempotency_key,
-                        },
+                        body=body,
                         parent=attempt,
                     ),
                     f"container create/start of {container_name!r} on {target}",
@@ -530,6 +707,7 @@ class PiMaster:
                 ip=lease.ip,
                 fqdn=fqdn,
                 group=group,
+                epoch=epoch,
             )
             self._containers[container_name] = container_record
             self._track_group(container_record)

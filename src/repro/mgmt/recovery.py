@@ -105,7 +105,15 @@ class RecoveryManager:
 
     def on_transition(self, node_id: str, old: NodeHealth, new: NodeHealth,
                       context) -> None:
-        """FailureDetector listener: death triggers evacuation."""
+        """FailureDetector listener: death triggers evacuation.
+
+        Deliberately *only* DEAD: an UNREACHABLE node (gen-2 detector)
+        may be alive behind a partition with its containers still
+        serving, so evacuating it would start the split-brain double-run.
+        Evacuation waits until the grace period expires and no witness
+        can reach the node either -- i.e. the UNREACHABLE -> DEAD
+        transition.
+        """
         if new is NodeHealth.DEAD:
             self.evacuate(node_id, parent=context)
 

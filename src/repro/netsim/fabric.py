@@ -147,6 +147,9 @@ class Network:
             self._links[frozenset((a, b))] = Link(sim, a, b, spec.bandwidth, spec.latency)
 
         self._active: set[FlowTransfer] = set()
+        # Active partition: node name -> group index (None = no partition).
+        # Nodes absent from the map form one implicit "rest" group.
+        self._partition: Optional[Dict[str, int]] = None
         # Incremental solver state: link directions whose flow membership
         # changed and flows whose constraints changed since the last solve.
         self._dirty_directions: set[LinkDirection] = set()
@@ -214,6 +217,88 @@ class Network:
         else:
             self.path_service.invalidate()
 
+    # -- gray failures ---------------------------------------------------------
+
+    def degrade_link(self, a: str, b: str, bandwidth_frac: float = 1.0,
+                     extra_latency: float = 0.0, loss: float = 0.0) -> None:
+        """Gray-fail a cable: less capacity / more latency / packet loss.
+
+        Unlike :meth:`fail_link` the binary link state stays *up*:
+        routing keeps using the link, no flow is killed, nothing is
+        rerouted -- active flows simply get squeezed by the fair-share
+        solver onto the reduced capacity.  ``loss`` is bookkeeping for
+        higher layers (the load engine's retransmission model); the
+        fluid byte accounting itself is lossless.
+        """
+        link = self.link(a, b)
+        link.degrade(bandwidth_frac=bandwidth_frac,
+                     extra_latency=extra_latency, loss=loss)
+        self._dirty_directions.add(link.forward)
+        self._dirty_directions.add(link.reverse)
+        self._request_solve()
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Clear a link's gray-failure state (capacity back to spec)."""
+        link = self.link(a, b)
+        if not link.degraded:
+            return
+        link.restore()
+        self._dirty_directions.add(link.forward)
+        self._dirty_directions.add(link.reverse)
+        self._request_solve()
+
+    # -- partitions -----------------------------------------------------------
+
+    def set_partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Cut cross-group reachability without failing any link.
+
+        ``groups`` is a list of node-name groups; nodes not named fall
+        into one implicit "rest" group.  Flows whose path would cross a
+        group boundary fail to establish (``NoRouteError``), and active
+        flows already crossing one are reset -- both control and data
+        plane, since every REST call and heartbeat is a fabric flow.
+        Links stay *up* and routing state is untouched: this models a
+        reachability cut (mis-pushed ACL, spanning-tree meltdown), not
+        cable damage, so :meth:`clear_partition` heals instantly.
+        """
+        partition: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                if node not in self.topology.graph:
+                    raise NetworkError(f"unknown partition member {node!r}")
+                partition[node] = index
+        self._partition = partition
+        victims = sorted(
+            (flow for flow in self._active
+             if self._partition_blocks(flow.path)),
+            key=lambda flow: flow.flow_id,
+        )
+        for flow in victims:
+            self._fail_flow(
+                flow, ConnectionResetError(
+                    f"network partition cut the {flow.src}->{flow.dst} path"
+                )
+            )
+
+    def clear_partition(self) -> None:
+        """Heal the partition: cross-group traffic flows again."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def _partition_blocks(self, path: List[str]) -> bool:
+        """Does ``path`` cross a partition group boundary?"""
+        partition = self._partition
+        if partition is None or not path:
+            return False
+        group = partition.get(path[0], -1)
+        for node in path[1:]:
+            if partition.get(node, -1) != group:
+                return True
+        return False
+
     # -- transfers ---------------------------------------------------------------
 
     def transfer(
@@ -253,6 +338,11 @@ class Network:
         except NoRouteError as exc:
             self._fail_flow(flow, exc)
             return
+        if self._partition is not None and self._partition_blocks(path):
+            self._fail_flow(flow, NoRouteError(
+                f"network partition blocks {flow.src}->{flow.dst}"
+            ))
+            return
         try:
             directions = self._directions_for(path)
         except NetworkError as exc:
@@ -266,12 +356,18 @@ class Network:
             yield Timeout(self.sim, total_latency)
         if flow.state is not FlowState.PENDING:
             return  # failed while propagating
-        # A link may have died during the propagation window.
+        # A link may have died -- or a partition landed -- during the
+        # propagation window.
         dead = [d for d in directions if not d.link.up]
         if dead:
             self._fail_flow(flow, NoRouteError(
                 f"link {dead[0].link.a}<->{dead[0].link.b} failed "
                 "while the flow was being established"
+            ))
+            return
+        if self._partition is not None and self._partition_blocks(flow.path):
+            self._fail_flow(flow, NoRouteError(
+                f"network partition blocks {flow.src}->{flow.dst}"
             ))
             return
         self._activate(flow)

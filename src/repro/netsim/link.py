@@ -50,11 +50,11 @@ class LinkDirection:
 
     @property
     def capacity(self) -> float:
-        return self.link.bandwidth
+        return self.link.bandwidth * self.link.bandwidth_frac
 
     @property
     def latency(self) -> float:
-        return self.link.latency
+        return self.link.latency + self.link.extra_latency
 
     def set_load(self, bytes_per_s: float, congestion_threshold: float) -> None:
         """Fabric hook: aggregate flow rate on this direction changed."""
@@ -112,8 +112,51 @@ class Link:
         self.bandwidth = bandwidth
         self.latency = latency
         self.up = True
+        # Gray-failure state: a degraded link is still *up* (the binary
+        # state the routing layer sees) but delivers a fraction of its
+        # bandwidth, adds serialization latency, and/or drops a fraction
+        # of packets.  The defaults (1.0 / 0.0 / 0.0) are exact
+        # identities under IEEE arithmetic, so an undegraded link
+        # computes bit-identical capacities and latencies to the
+        # pre-gray-failure model.
+        self.bandwidth_frac = 1.0
+        self.extra_latency = 0.0
+        self.loss = 0.0
         self.forward = LinkDirection(sim, self, a, b)
         self.reverse = LinkDirection(sim, self, b, a)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any gray-failure knob is off its healthy default."""
+        return (self.bandwidth_frac != 1.0 or self.extra_latency != 0.0
+                or self.loss != 0.0)
+
+    def degrade(self, bandwidth_frac: float = 1.0, extra_latency: float = 0.0,
+                loss: float = 0.0) -> None:
+        """Set the gray-failure state (validated); does not touch ``up``."""
+        if not 0.0 < bandwidth_frac <= 1.0:
+            raise ConfigurationError(
+                f"link {self.a}<->{self.b}: bandwidth_frac must be in (0, 1], "
+                f"got {bandwidth_frac}"
+            )
+        if extra_latency < 0:
+            raise ConfigurationError(
+                f"link {self.a}<->{self.b}: extra_latency must be >= 0, "
+                f"got {extra_latency}"
+            )
+        if not 0.0 <= loss < 1.0:
+            raise ConfigurationError(
+                f"link {self.a}<->{self.b}: loss must be in [0, 1), got {loss}"
+            )
+        self.bandwidth_frac = bandwidth_frac
+        self.extra_latency = extra_latency
+        self.loss = loss
+
+    def restore(self) -> None:
+        """Clear any gray-failure state (back to the healthy identity)."""
+        self.bandwidth_frac = 1.0
+        self.extra_latency = 0.0
+        self.loss = 0.0
 
     def direction(self, src: str, dst: str) -> LinkDirection:
         """The directed half carrying traffic ``src -> dst``."""

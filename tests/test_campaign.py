@@ -28,7 +28,9 @@ from repro.campaign import (
 )
 from repro.campaign.dashboard import render_dashboard
 from repro.campaign.runner import CampaignRunner
-from repro.campaign.scenarios import register_scenario, resolve_scenario
+from repro.campaign.scenarios import (register_scenario,
+                                      registered_scenarios,
+                                      resolve_scenario)
 from repro.core.config import SimBudgetConfig
 from repro.errors import CampaignError, SimBudgetExceeded
 
@@ -466,3 +468,38 @@ class TestFacade:
         assert repro.CampaignSpec is CampaignSpec
         assert repro.run_campaign is run_campaign
         assert issubclass(repro.CampaignError, repro.PiCloudError)
+
+
+# -- the partition_chaos built-in scenario -----------------------------------
+
+
+class TestPartitionChaosScenario:
+    def test_smoke_cell_with_fencing_holds_the_invariant(self):
+        """One small fenced cell end to end: the partition fires, nodes
+        go UNREACHABLE, and no duplicate container epoch survives."""
+        from repro.campaign.scenarios import RunContext
+
+        scenario = resolve_scenario("partition_chaos")
+        metrics = scenario(RunContext(
+            params={
+                "partition_s": 20.0, "unreachable_grace_s": 8.0,
+                "fencing": True, "pod": 0, "fat_tree_k": 4,
+                "racks": 4, "pis": 4, "web_containers": 2,
+                "settle_s": 10.0, "arrival_rate": 5.0,
+                "heartbeat_interval_s": 1.0, "heartbeat_timeout_s": 0.5,
+            },
+            seed=42,
+        ))
+        assert metrics["duplicate_container_epochs"] == 0
+        assert metrics["unreachable_s"] > 0.0
+        assert metrics["fencing"] is True
+        assert metrics["pod_members"] >= 5  # 4 hosts + pod switches
+        assert metrics["web_offered_requests"] > 0
+        # Grace (8 s) shorter than the partition (20 s): the pod's nodes
+        # were falsely declared dead, and that is visible.
+        assert metrics["false_dead_evacuations"] > 0
+        assert metrics["stale_epoch_rejections"] >= 0
+        assert metrics["sim_time_s"] > 30.0
+
+    def test_registered_as_builtin(self):
+        assert "partition_chaos" in registered_scenarios()

@@ -62,3 +62,32 @@ class TestCommands:
     def test_storm_rejects_single_rack(self, capsys):
         assert main(["storm", "--racks", "1", "--pis", "2",
                      "--routing", "shortest"]) == 2
+
+    def test_load_smoke(self, capsys):
+        assert main(["load", "--racks", "1", "--pis", "3",
+                     "--routing", "shortest", "--replicas", "2",
+                     "--duration", "20", "--rate", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert "node faults injected" not in out  # no --mtbf, no injector
+
+    def test_load_mtbf_runs_fault_injector(self, capsys):
+        assert main(["load", "--racks", "2", "--pis", "2",
+                     "--routing", "shortest", "--replicas", "2",
+                     "--duration", "40", "--rate", "5",
+                     "--mtbf", "15", "--mttr", "10",
+                     "--self-healing", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "node faults injected" in out
+        assert "node repairs" in out
+        assert "containers evacuated" in out
+
+    def test_load_mtbf_deterministic_per_seed(self, capsys):
+        argv = ["load", "--racks", "1", "--pis", "3",
+                "--routing", "shortest", "--replicas", "2",
+                "--duration", "30", "--rate", "5",
+                "--mtbf", "10", "--mttr", "5", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

@@ -64,8 +64,15 @@ class TestFaultSchedule:
             (120.0, "link-repair"),
         ]
 
-    def test_same_instant_faults_fire_in_deterministic_order(self, cloud):
-        """Ties at one timestamp resolve by the sorted script order."""
+    def test_same_instant_faults_fire_in_script_order(self, cloud):
+        """Ties at one timestamp fire in the order they were scripted.
+
+        Regression test: arm() used to sort on (time, kind, target), so
+        lexicographic target order silently reordered same-instant
+        events -- tor0|agg0 would fire before tor1|agg1 even when the
+        script said otherwise.  The sort is now stable and keys on time
+        only.
+        """
         schedule = (
             FaultSchedule(cloud)
             .cut_link(40.0, "tor1", "agg1")
@@ -73,8 +80,24 @@ class TestFaultSchedule:
         )
         schedule.arm()
         cloud.run_for(50.0)
-        # sorted() on (time, kind, target) puts tor0|agg0 first.
-        assert [e.target for e in schedule.log] == ["tor0|agg0", "tor1|agg1"]
+        assert [e.target for e in schedule.log] == ["tor1|agg1", "tor0|agg0"]
+
+    def test_same_instant_mixed_kinds_keep_script_order(self, cloud):
+        """Author-controlled ordering survives across fault kinds too.
+
+        slow-then-restore at one instant must net out to a healthy node;
+        the old kind-string sort put "node-restore" before "node-slow"
+        and left the slow-down active.
+        """
+        schedule = (
+            FaultSchedule(cloud)
+            .slow_node(20.0, "pi-r0-n0", factor=3.0)
+            .restore_node(20.0, "pi-r0-n0")
+        )
+        schedule.arm()
+        cloud.run_for(30.0)
+        assert [e.kind for e in schedule.log] == ["node-slow", "node-restore"]
+        assert cloud.slow_factor("pi-r0-n0") == 1.0
 
     def test_unknown_node_rejected_at_arm_listing_valid_ids(self, cloud):
         schedule = FaultSchedule(cloud).fail_node(10.0, "pi-r9-n9")
@@ -110,6 +133,171 @@ class TestFaultSchedule:
         cloud.run_for(60.0)
         assert flow.done.ok
         assert "agg0" not in flow.path
+
+
+class TestGraySchedule:
+    """Scripted gray faults: targets under-deliver but stay up."""
+
+    def test_degrade_knobs_validated_at_build_time(self, cloud):
+        schedule = FaultSchedule(cloud)
+        with pytest.raises(ValueError):
+            schedule.degrade_link(1.0, "tor0", "agg0", bandwidth_frac=0.0)
+        with pytest.raises(ValueError):
+            schedule.degrade_link(1.0, "tor0", "agg0", bandwidth_frac=1.5)
+        with pytest.raises(ValueError):
+            schedule.degrade_link(1.0, "tor0", "agg0", extra_latency=-0.1)
+        with pytest.raises(ValueError):
+            schedule.degrade_link(1.0, "tor0", "agg0", loss=1.0)
+        with pytest.raises(ValueError):
+            schedule.slow_node(1.0, "pi-r0-n0", factor=0.5)
+        # Nothing half-built leaked into the script.
+        schedule.arm()
+        cloud.run_for(5.0)
+        assert schedule.log == []
+
+    def test_degrade_and_restore_cycle(self, cloud):
+        schedule = (
+            FaultSchedule(cloud)
+            .degrade_link(10.0, "tor0", "agg0",
+                          bandwidth_frac=0.1, loss=0.02)
+            .restore_link(50.0, "tor0", "agg0")
+        )
+        schedule.arm()
+        cloud.run_for(20.0)
+        link = cloud.network.link("tor0", "agg0")
+        assert link.up  # gray: never marked down
+        assert link.degraded
+        assert link.bandwidth_frac == 0.1
+        assert link.loss == 0.02
+        cloud.run_for(40.0)
+        assert not link.degraded
+        assert [e.kind for e in schedule.log] == ["link-degrade",
+                                                  "link-restore"]
+
+    def test_slow_node_and_restore_cycle(self, cloud):
+        schedule = (
+            FaultSchedule(cloud)
+            .slow_node(5.0, "pi-r1-n0", factor=4.0)
+            .restore_node(25.0, "pi-r1-n0")
+        )
+        schedule.arm()
+        cloud.run_for(10.0)
+        assert cloud.slow_factor("pi-r1-n0") == 4.0
+        # The node is slow, not dead: still powered and serving.
+        assert cloud.machines["pi-r1-n0"].is_on
+        cloud.run_for(20.0)
+        assert cloud.slow_factor("pi-r1-n0") == 1.0
+
+    def test_degraded_link_validated_at_arm(self, cloud):
+        schedule = FaultSchedule(cloud).degrade_link(
+            1.0, "tor0", "nowhere", bandwidth_frac=0.5)
+        with pytest.raises(ValueError):
+            schedule.arm()
+
+
+class TestPartitionSchedule:
+    def test_empty_partition_rejected_at_build(self, cloud):
+        with pytest.raises(ValueError):
+            FaultSchedule(cloud).partition(1.0, [])
+        with pytest.raises(ValueError):
+            FaultSchedule(cloud).partition(1.0, [[], []])
+
+    def test_unknown_member_rejected_at_arm(self, cloud):
+        schedule = FaultSchedule(cloud).partition(1.0, [["pi-r9-n9"]])
+        with pytest.raises(ValueError):
+            schedule.arm()
+
+    def test_partition_cuts_and_heal_restores_without_failing_links(
+            self, cloud):
+        group = ["pi-r0-n0", "pi-r0-n1", "tor0"]
+        schedule = (
+            FaultSchedule(cloud)
+            .partition(10.0, [group])
+            .heal_partition(40.0)
+        )
+        schedule.arm()
+        cloud.run_for(15.0)
+        assert cloud.network.partitioned
+        # No link is down and no machine failed: a reachability cut.
+        assert all(link.up for link in cloud.network.links())
+        assert cloud.machines["pi-r0-n0"].is_on
+        blocked = cloud.network.transfer("pi-r0-n0", "pi-r1-n0", 1000.0)
+        cloud.run_for(5.0)
+        assert blocked.done.triggered and not blocked.done.ok
+        cloud.run_for(25.0)
+        assert not cloud.network.partitioned
+        healed = cloud.network.transfer("pi-r0-n0", "pi-r1-n0", 1000.0)
+        cloud.run_for(30.0)
+        assert healed.done.ok
+        assert [e.kind for e in schedule.log] == ["partition",
+                                                  "partition-heal"]
+
+
+class TestCorrelatedDomains:
+    def test_fail_tor_expands_to_every_cable_sorted(self, cloud):
+        schedule = FaultSchedule(cloud).fail_tor(30.0, "tor0")
+        schedule.arm()
+        cloud.run_for(40.0)
+        neighbors = sorted(cloud.topology.graph.neighbors("tor0"))
+        assert [e.target for e in schedule.log] == [
+            f"tor0|{n}" for n in neighbors
+        ]
+        assert all(e.time == 30.0 for e in schedule.log)
+        for neighbor in neighbors:
+            assert not cloud.network.link("tor0", neighbor).up
+        # The rack behind tor0 is unreachable from the rest.
+        flow = cloud.network.transfer("pi-r0-n0", "pi-r1-n0", 1000.0)
+        cloud.run_for(5.0)
+        assert flow.done.triggered and not flow.done.ok
+
+    def test_fail_tor_unknown_switch(self, cloud):
+        with pytest.raises(ValueError):
+            FaultSchedule(cloud).fail_tor(1.0, "tor9")
+
+    def test_fail_pod_requires_fat_tree(self, cloud):
+        with pytest.raises(ValueError):
+            FaultSchedule(cloud).fail_pod(1.0, 0)
+
+    def test_fail_pod_cuts_core_uplinks(self):
+        config = PiCloudConfig.small(
+            racks=2, pis=2, topology="fat-tree", fat_tree_k=4,
+            start_monitoring=False,
+        )
+        cloud = PiCloud(config)
+        cloud.boot()
+        schedule = FaultSchedule(cloud).fail_pod(10.0, 0)
+        schedule.arm()
+        cloud.run_for(20.0)
+        assert schedule.log, "pod 0 should have core uplinks"
+        for event in schedule.log:
+            agg, core = event.target.split("|")
+            assert agg.startswith("p0-agg")
+            assert core.startswith("core")
+            assert not cloud.network.link(agg, core).up
+        # Intra-pod links survive: only the pod's exits were cut.
+        assert any(
+            link.up for link in cloud.network.links()
+            if any(str(e).startswith("p0-") for e in link.endpoints)
+        )
+
+    def test_fail_power_domain_fails_whole_rack(self, cloud):
+        schedule = FaultSchedule(cloud).fail_power_domain(15.0, "rack0")
+        schedule.arm()
+        cloud.run_for(20.0)
+        members = sorted(
+            name for name, machine in cloud.machines.items()
+            if machine.rack == "rack0"
+        )
+        assert [e.target for e in schedule.log] == members
+        for name in members:
+            assert cloud.machines[name].state is PowerState.FAILED
+        # Other racks untouched.
+        assert cloud.machines["pi-r1-n0"].is_on
+
+    def test_fail_power_domain_unknown_rack_lists_valid(self, cloud):
+        with pytest.raises(ValueError) as excinfo:
+            FaultSchedule(cloud).fail_power_domain(1.0, "rack9")
+        assert "rack0" in str(excinfo.value)
 
 
 class TestMtbfInjector:
