@@ -40,6 +40,7 @@ _FACADE = {
     "HealthConfig": "repro.core.config",
     "TraceConfig": "repro.core.config",
     "LoadConfig": "repro.core.config",
+    "RateModelConfig": "repro.core.config",
     # Session-level load + SLO accounting (repro.load).
     "LoadEngine": "repro.load",
     "LoadReport": "repro.load",
@@ -79,6 +80,7 @@ _FACADE = {
     "NetworkError": "repro.errors",
     "NoRouteError": "repro.errors",
     "AddressError": "repro.errors",
+    "RateModelError": "repro.errors",
     "VirtualisationError": "repro.errors",
     "ContainerStateError": "repro.errors",
     "ImageError": "repro.errors",

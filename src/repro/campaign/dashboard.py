@@ -27,9 +27,10 @@ _LOWER_BETTER = ("wall", "duration", "missed", "failure", "unschedulable",
                  "recomputes", "flows_solved",
                  "p50_ms", "p95_ms", "p99_ms", "p999_ms",
                  "burn", "error_rate", "shed", "bad_requests",
-                 "duplicate", "unreachable", "false_dead")
+                 "duplicate", "unreachable", "false_dead",
+                 "queue_depth", "ecn_mark", "dropped", "drop_events")
 _HIGHER_BETTER = ("availability", "events_per_s", "throughput", "alive",
-                  "running", "rejoin", "good_requests")
+                  "running", "rejoin", "good_requests", "goodput")
 
 _CSS = """
 .viz-root {

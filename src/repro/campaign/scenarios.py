@@ -559,3 +559,124 @@ def partition_chaos(ctx: RunContext) -> Dict[str, Any]:
     finally:
         if ctx.trace and cloud.tracer is not None:
             cloud.write_trace(str(ctx.artifact_path("trace.jsonl")))
+
+
+# -- built-in: congestion-control contrast -----------------------------------
+
+
+def run_cc_contrast(
+    *,
+    rate_model: str = "cc",
+    protocol: str = "reno",
+    hosts: int = 224,
+    fat_tree_k: int = 10,
+    senders: int = 8,
+    flow_bytes: float = 60e6,
+    duration_s: float = 12.0,
+    start_jitter_s: float = 0.0,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Drive the many-senders-one-receiver contrast workload on a bare
+    fat-tree fabric and report goodput plus queue health.
+
+    The single source of truth for the congestion-control contrast:
+    the ``cc_contrast`` campaign scenario, ``examples/dctcp_vs_reno.py``
+    and ``tests/test_cc.py`` all call this, so the committed spec, the
+    example's printed table, and the acceptance assertions measure the
+    exact same workload.
+
+    ``senders`` hosts each push ``flow_bytes`` to one receiver.  With
+    ``start_jitter_s`` > 0 each start is offset by a seeded uniform
+    draw in ``[0, start_jitter_s)`` -- the incast cells use this so
+    different seeds genuinely differ while any one seed reproduces
+    byte-identically.  No other randomness exists in the cc path.
+    """
+    from repro.core.config import RateModelConfig
+    from repro.netsim.fabric import Network
+    from repro.netsim.routing import EcmpRouting
+    from repro.netsim.topology import fat_tree
+    from repro.sim.kernel import Simulator
+
+    if senders >= hosts:
+        raise CampaignError(
+            f"need senders < hosts, got {senders} >= {hosts}"
+        )
+    host_names = [f"h{i:03d}" for i in range(int(hosts))]
+    sim = Simulator()
+    topo = fat_tree(int(fat_tree_k), hosts=host_names)
+    model = RateModelConfig(model=rate_model, protocol=protocol).build()
+    net = Network(
+        sim, topo, path_service=EcmpRouting(sim, topo), rate_model=model
+    )
+
+    dst = host_names[0]
+    rng = random.Random(seed)
+    flows: List[Any] = []
+
+    def start(src: str) -> None:
+        # Stable flow_key: the default (the global flow id) would make
+        # ECMP path choice depend on how many flows ran earlier in this
+        # process, so arms of a contrast would see different paths.
+        flows.append(net.transfer(
+            src, dst, float(flow_bytes), flow_key=f"cc:{src}", tag="cc"
+        ))
+
+    for src in host_names[1:int(senders) + 1]:
+        if start_jitter_s > 0.0:
+            sim.schedule(rng.uniform(0.0, start_jitter_s), start, src)
+        else:
+            start(src)
+    sim.run(until=float(duration_s))
+    net.sync()
+
+    delivered = sum(f.size - f.remaining for f in flows)
+    metrics = net.queue_metrics()
+    return {
+        "completed": sum(1 for f in flows if f.remaining <= 0.0),
+        "delivered_bytes": delivered,
+        "goodput_bytes_per_s": delivered / float(duration_s),
+        "queue_depth_p99": metrics["queue_depth_p99"],
+        "queue_depth_peak": metrics["queue_depth_peak"],
+        "ecn_mark_frac": metrics["ecn_mark_frac"],
+        "dropped_bytes": metrics["dropped_bytes"],
+        "drop_events": metrics["drop_events"],
+        "recomputes": net.recomputes,
+        "sim_time_s": sim.now,
+    }
+
+
+# Workload cells: senders x per-flow bytes x start jitter.  "elephants"
+# is a handful of long-lived flows; "incast" is a synchronised burst of
+# small ones (the jitter window is what the seed perturbs).
+CC_WORKLOADS = {
+    "elephants": (8, 60e6, 0.0),
+    "incast": (32, 2e6, 0.005),
+}
+
+
+@register_scenario("cc_contrast")
+def cc_contrast(ctx: RunContext) -> Dict[str, Any]:
+    """Campaign wrapper over :func:`run_cc_contrast`.
+
+    Grid axes: ``rate_model`` x ``protocol`` x ``workload`` (see
+    :data:`CC_WORKLOADS`); ``specs/cc_contrast.yaml`` sweeps it and CI's
+    ``cc-smoke`` job runs that spec.
+    """
+    p = ctx.param
+    workload = str(p("workload", "elephants"))
+    if workload not in CC_WORKLOADS:
+        raise CampaignError(
+            f"unknown cc workload {workload!r}; known: {sorted(CC_WORKLOADS)}"
+        )
+    senders, flow_bytes, jitter = CC_WORKLOADS[workload]
+    return run_cc_contrast(
+        rate_model=str(p("rate_model", "cc")),
+        protocol=str(p("protocol", "reno")),
+        hosts=int(p("hosts", 54)),
+        fat_tree_k=int(p("fat_tree_k", 6)),
+        senders=int(p("senders", senders)),
+        flow_bytes=float(p("flow_bytes", flow_bytes)),
+        duration_s=float(p("duration_s", 8.0)),
+        start_jitter_s=float(p("start_jitter_s", jitter)),
+        seed=ctx.seed,
+    )

@@ -25,9 +25,12 @@ from typing import Optional, Sequence
 from repro.core.cloud import PiCloud
 from repro.core.comparison import testbed_comparison
 from repro.core.config import (
+    CC_PROTOCOLS,
+    RATE_MODELS,
     ROUTING_MODES,
     HealthConfig,
     PiCloudConfig,
+    RateModelConfig,
     SimBudgetConfig,
     TraceConfig,
 )
@@ -63,6 +66,13 @@ def _add_cloud_arguments(parser: argparse.ArgumentParser) -> None:
                         help="record a causal trace and write it to PATH "
                              "(.jsonl = span records, anything else = "
                              "Chrome trace-viewer JSON)")
+    parser.add_argument("--rate-model", choices=RATE_MODELS, default="maxmin",
+                        help="fabric rate assignment: instantaneous max-min "
+                             "fair share (default) or per-flow congestion "
+                             "control with queue/ECN dynamics")
+    parser.add_argument("--cc-protocol", choices=CC_PROTOCOLS, default="reno",
+                        help="congestion-control update rule when "
+                             "--rate-model=cc (ignored under maxmin)")
     parser.add_argument("--self-healing", action="store_true",
                         help="start the pimaster's heartbeat failure "
                              "detector: dead nodes are detected, their "
@@ -106,6 +116,10 @@ def _build_cloud(args: argparse.Namespace, monitoring: bool = False) -> PiCloud:
         ),
         trace=TraceConfig(enabled=args.trace_out is not None),
         health=HealthConfig(enabled=args.self_healing),
+        rate_model=RateModelConfig(
+            model=getattr(args, "rate_model", "maxmin"),
+            protocol=getattr(args, "cc_protocol", "reno"),
+        ),
         profile_out=_resolve_profile_out(args),
     )
     cloud = PiCloud(config)
@@ -299,6 +313,13 @@ def cmd_load(args: argparse.Namespace) -> int:
         ["worst SLO burn", f"{worst:.2f}x"],
         ["kernel events", cloud.sim.events_executed],
     ]
+    if args.rate_model == "cc":
+        queue = cloud.network.queue_metrics()
+        rows.append(["rate model", f"cc/{args.cc_protocol}"])
+        rows.append(["queue depth p99",
+                     f"{queue['queue_depth_p99'] / 1024.0:.1f} KiB"])
+        rows.append(["ECN mark fraction", f"{queue['ecn_mark_frac']:.3f}"])
+        rows.append(["queue drops", f"{queue['dropped_bytes']:,.0f} B"])
     if injector is not None:
         rows.append(["node faults injected", sum(
             1 for e in injector.log if e.kind == "node-fail"

@@ -132,6 +132,7 @@ class PiCloud:
             self.sim, self.topology, path_service=path_service,
             congestion_threshold=self.config.congestion_threshold,
             incremental=self.config.incremental_fairness,
+            rate_model=self.config.rate_model.build(),
         )
         if self.controller is not None:
             self.controller.attach_network(self.network)

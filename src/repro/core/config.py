@@ -12,6 +12,8 @@ into sub-configs:
 * :class:`HealthConfig` (``health=``) -- the self-healing control plane.
 * :class:`TraceConfig` (``trace=``) -- cross-layer causal tracing.
 * :class:`LoadConfig` (``load=``) -- session-level load engine defaults.
+* :class:`RateModelConfig` (``rate_model=``) -- fabric rate assignment
+  (instantaneous max-min vs per-flow congestion control).
 
 The old flat knobs (``max_events=``, ``tracing=``, ``self_healing=``,
 ``heartbeat_interval_s=``, ...) are still accepted with a
@@ -228,6 +230,123 @@ class LoadConfig:
             )
 
 
+RATE_MODELS = ("maxmin", "cc")
+CC_PROTOCOLS = ("reno", "dctcp", "delay")
+
+
+@dataclass(frozen=True, kw_only=True)
+class RateModelConfig:
+    """How the fabric assigns rates to flows (see ``docs/performance.md``).
+
+    ``model="maxmin"`` (the default) is the instantaneous max-min fair
+    share: stateless, event-driven, byte-identical to every release
+    since the fabric existed, and the cheapest option.  ``model="cc"``
+    runs per-flow congestion control (:mod:`repro.netsim.cc`): each flow
+    keeps a window updated every ``epoch_s`` by ``protocol`` -- ``reno``
+    (loss-driven AIMD), ``dctcp`` (ECN-fraction EWMA) or ``delay``
+    (smoothed-RTT backoff) -- against per-link-direction queues of
+    ``queue_limit_bytes`` that mark ECN above
+    ``ecn_threshold_frac * queue_limit_bytes`` and signal loss on
+    overflow.
+
+    The remaining knobs are the protocol constants: windows start at
+    ``init_cwnd_bytes``, never fall below ``min_cwnd_bytes``, grow by
+    ``ai_mss_per_rtt`` segments of ``mss_bytes`` per RTT, and shrink by
+    ``md_factor`` on loss; ``dctcp_g`` is DCTCP's EWMA gain; the delay
+    variant backs off when smoothed RTT exceeds ``delay_threshold``
+    times the propagation RTT, smoothing with weight ``delay_smoothing``.
+    Defaults mirror :mod:`repro.netsim.cc` (pinned by ``tests/test_cc.py``).
+    """
+
+    model: str = "maxmin"
+    protocol: str = "reno"
+    epoch_s: float = 0.001
+    queue_limit_bytes: float = 300_000.0
+    ecn_threshold_frac: float = 0.15
+    init_cwnd_bytes: float = 15_000.0
+    min_cwnd_bytes: float = 1_500.0
+    mss_bytes: float = 1_500.0
+    ai_mss_per_rtt: float = 1.0
+    md_factor: float = 0.5
+    dctcp_g: float = 0.0625
+    delay_threshold: float = 1.25
+    delay_smoothing: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.model not in RATE_MODELS:
+            raise ConfigurationError(
+                f"unknown rate model {self.model!r}; use one of {RATE_MODELS}"
+            )
+        if self.protocol not in CC_PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown cc protocol {self.protocol!r}; "
+                f"use one of {CC_PROTOCOLS}"
+            )
+        if self.epoch_s <= 0:
+            raise ConfigurationError(
+                f"epoch_s must be > 0, got {self.epoch_s}"
+            )
+        if self.queue_limit_bytes <= 0:
+            raise ConfigurationError(
+                f"queue_limit_bytes must be > 0, got {self.queue_limit_bytes}"
+            )
+        if not 0.0 < self.ecn_threshold_frac <= 1.0:
+            raise ConfigurationError(
+                "ecn_threshold_frac must be in (0, 1], got "
+                f"{self.ecn_threshold_frac}"
+            )
+        if self.min_cwnd_bytes <= 0 or self.init_cwnd_bytes < self.min_cwnd_bytes:
+            raise ConfigurationError(
+                "need 0 < min_cwnd_bytes <= init_cwnd_bytes, got "
+                f"min={self.min_cwnd_bytes} init={self.init_cwnd_bytes}"
+            )
+        if self.mss_bytes <= 0:
+            raise ConfigurationError(
+                f"mss_bytes must be > 0, got {self.mss_bytes}"
+            )
+        if self.ai_mss_per_rtt <= 0:
+            raise ConfigurationError(
+                f"ai_mss_per_rtt must be > 0, got {self.ai_mss_per_rtt}"
+            )
+        if not 0.0 < self.md_factor < 1.0:
+            raise ConfigurationError(
+                f"md_factor must be in (0, 1), got {self.md_factor}"
+            )
+        if not 0.0 < self.dctcp_g <= 1.0:
+            raise ConfigurationError(
+                f"dctcp_g must be in (0, 1], got {self.dctcp_g}"
+            )
+        if self.delay_threshold <= 1.0:
+            raise ConfigurationError(
+                f"delay_threshold must be > 1.0, got {self.delay_threshold}"
+            )
+        if not 0.0 < self.delay_smoothing <= 1.0:
+            raise ConfigurationError(
+                f"delay_smoothing must be in (0, 1], got {self.delay_smoothing}"
+            )
+
+    def build(self):
+        """Instantiate the configured rate model (None = fabric default)."""
+        if self.model == "maxmin":
+            return None
+        from repro.netsim.cc import CcRateModel
+
+        return CcRateModel(
+            protocol=self.protocol,
+            epoch_s=self.epoch_s,
+            queue_limit_bytes=self.queue_limit_bytes,
+            ecn_threshold_frac=self.ecn_threshold_frac,
+            init_cwnd_bytes=self.init_cwnd_bytes,
+            min_cwnd_bytes=self.min_cwnd_bytes,
+            mss_bytes=self.mss_bytes,
+            ai_mss_per_rtt=self.ai_mss_per_rtt,
+            md_factor=self.md_factor,
+            dctcp_g=self.dctcp_g,
+            delay_threshold=self.delay_threshold,
+            delay_smoothing=self.delay_smoothing,
+        )
+
+
 # Deprecated flat knob -> (sub-config attribute on PiCloudConfig, field name).
 _DEPRECATED_KNOBS = {
     "max_events": ("budget", "max_events"),
@@ -318,6 +437,7 @@ class PiCloudConfig:
     health: HealthConfig = field(default_factory=HealthConfig)
     trace: TraceConfig = field(default_factory=TraceConfig)
     load: LoadConfig = field(default_factory=LoadConfig)
+    rate_model: RateModelConfig = field(default_factory=RateModelConfig)
 
     # -- reproducibility --------------------------------------------------------------
     seed: int = 0

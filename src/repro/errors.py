@@ -91,6 +91,16 @@ class ConnectionResetError(NetworkError):
     """The peer closed or the host failed mid-transfer."""
 
 
+class RateModelError(NetworkError, ValueError):
+    """Invalid congestion-control rate-model parameters or misuse.
+
+    Raised by :mod:`repro.netsim.cc` for unknown protocols, out-of-range
+    window/queue knobs, or attaching a rate model to two fabrics.  Also a
+    ``ValueError`` so parameter-validation call sites that historically
+    caught ``ValueError`` keep working.
+    """
+
+
 class VirtualisationError(PiCloudError):
     """Base class for container / LXC layer failures."""
 

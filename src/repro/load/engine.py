@@ -614,6 +614,13 @@ class LoadEngine:
         host stretches the service-time component.  Both factors are
         exactly ``1.0`` on healthy paths, keeping fault-free runs
         bit-identical.
+
+        Under a congestion-control rate model the path's current
+        queueing delay is added as well -- standing ToR/host buffers
+        show up directly in request latency.  The term is exactly
+        ``0.0`` under the default max-min model (no queue state exists),
+        and is only added when non-zero, so default-path runs stay
+        bit-identical.
         """
         one_way = sum(d.latency for d in flow.directions)
         if aggregate.rtt_s is None:
@@ -633,6 +640,9 @@ class LoadEngine:
             + profile.service_time_s * slow
             + (profile.response_bytes / profile.burst_rate) * stretch * retx
         )
+        queue_delay = self.network.path_queue_delay(flow.directions)
+        if queue_delay > 0.0:
+            latency += queue_delay
         self._record(aggregate.service, self.sim.now, requests, latency)
 
     def _record(self, service: Service, t: float, requests: float,

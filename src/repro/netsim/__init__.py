@@ -5,6 +5,9 @@ Models the paper's Fig. 2 network at flow level:
 * :mod:`~repro.netsim.link` -- full-duplex links with bandwidth and latency.
 * :mod:`~repro.netsim.fairness` -- max-min fair bandwidth allocation
   (progressive filling), the standard fluid model for DC congestion studies.
+* :mod:`~repro.netsim.cc` -- pluggable rate models: the max-min default
+  plus per-flow congestion control (Reno / DCTCP / delay-based) with
+  per-direction queue occupancy and ECN marking.
 * :mod:`~repro.netsim.fabric` -- the live network: active flows, rate
   recomputation, per-link utilisation gauges and congestion accounting.
 * :mod:`~repro.netsim.topology` -- builders for the paper's canonical
@@ -14,9 +17,10 @@ Models the paper's Fig. 2 network at flow level:
 """
 
 from repro.netsim.addresses import Ipv4Pool, MacAllocator
+from repro.netsim.cc import CcFlowState, CcRateModel, MaxMinRateModel, RateModel
 from repro.netsim.fabric import FlowTransfer, Network
 from repro.netsim.fairness import max_min_rates
-from repro.netsim.link import Link, LinkDirection
+from repro.netsim.link import Link, LinkDirection, QueueState
 from repro.netsim.routing import EcmpRouting, PathService, ShortestPathRouting
 from repro.netsim.topology import (
     Topology,
@@ -26,14 +30,19 @@ from repro.netsim.topology import (
 )
 
 __all__ = [
+    "CcFlowState",
+    "CcRateModel",
     "EcmpRouting",
     "FlowTransfer",
     "Ipv4Pool",
     "Link",
     "LinkDirection",
     "MacAllocator",
+    "MaxMinRateModel",
     "Network",
     "PathService",
+    "QueueState",
+    "RateModel",
     "ShortestPathRouting",
     "Topology",
     "fat_tree",

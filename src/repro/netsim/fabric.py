@@ -30,6 +30,15 @@ starts hundreds of flows at the same instant, which used to make fleet
 boot quadratic in burst size.  Readers that want rates mid-instant
 (reports, placement) go through :meth:`Network.sync` /
 :meth:`Network.congestion_report`, which flush any pending solve first.
+
+Rate assignment itself is pluggable: every solve settles byte accounting,
+then delegates the actual rate vector to a
+:class:`~repro.netsim.cc.RateModel` strategy.  The default
+:class:`~repro.netsim.cc.MaxMinRateModel` reproduces the historic
+instantaneous fair share byte-for-byte; :class:`~repro.netsim.cc.CcRateModel`
+adds per-flow congestion windows, per-direction queue occupancy and an
+epoch-stepped update loop that re-enters the fabric through
+:meth:`Network._epoch_reallocate`.
 """
 
 from __future__ import annotations
@@ -40,7 +49,7 @@ from typing import Dict, Hashable, Iterable, List, Optional
 
 from repro import trace
 from repro.errors import ConnectionResetError, NetworkError, NoRouteError
-from repro.netsim.fairness import max_min_rates
+from repro.netsim.cc import MaxMinRateModel, RateModel, queue_metrics
 from repro.netsim.link import Link, LinkDirection
 from repro.netsim.routing import PathService, ShortestPathRouting, path_links
 from repro.netsim.topology import Topology
@@ -101,6 +110,11 @@ class FlowTransfer:
         self.completed_at: Optional[float] = None
         self._last_update = network.sim.now
         self._completion_event: Optional[Event] = None
+        # Congestion-control state (a repro.netsim.cc.CcFlowState) when a
+        # cc rate model governs this flow; None under max-min.  Survives
+        # completion so flow observers can read loss/ECN signal counts at
+        # the completion boundary.
+        self.cc = None
 
     @property
     def duration(self) -> Optional[float]:
@@ -134,6 +148,7 @@ class Network:
         path_service: Optional[PathService] = None,
         congestion_threshold: float = 0.9,
         incremental: bool = True,
+        rate_model: Optional[RateModel] = None,
     ) -> None:
         topology.validate()
         self.sim = sim
@@ -147,6 +162,15 @@ class Network:
             self._links[frozenset((a, b))] = Link(sim, a, b, spec.bandwidth, spec.latency)
 
         self._active: set[FlowTransfer] = set()
+        # Rate caps of active flows, maintained incrementally alongside
+        # the dirty-flow tracking (activate adds, detach removes) so a
+        # solve never rebuilds it from the flow set; the solver reads it
+        # per-flow via .get and never iterates it.
+        self._rate_caps: Dict[FlowTransfer, float] = {}
+        # The rate-assignment strategy (see repro.netsim.cc).
+        self.rate_model: RateModel = rate_model if rate_model is not None \
+            else MaxMinRateModel()
+        self.rate_model.attach(self)
         # Active partition: node name -> group index (None = no partition).
         # Nodes absent from the map form one implicit "rest" group.
         self._partition: Optional[Dict[str, int]] = None
@@ -391,9 +415,12 @@ class Network:
             return
         self._active.add(flow)
         self._dirty_flows.add(flow)
+        if flow.rate_cap is not None:
+            self._rate_caps[flow] = flow.rate_cap
         for direction in flow.directions:
             direction.flows.add(flow)
             self._dirty_directions.add(direction)
+        self.rate_model.on_activate(flow)
         self._request_solve()
 
     def reroute(self, flow: FlowTransfer, new_path: List[str]) -> None:
@@ -487,12 +514,15 @@ class Network:
         return sorted(seen_flows, key=lambda f: f.flow_id), seen_dirs
 
     def _recompute(self) -> None:
-        """Re-solve fair-share rates and reschedule completions.
+        """Re-solve rates and reschedule completions (churn entry point).
 
         Incremental mode solves only the dirty bottleneck component(s);
         the fallback treats everything as dirty and re-solves the whole
         fabric (the pre-optimisation behaviour).  Both paths run the same
-        per-component arithmetic, so they assign identical rates.
+        per-component arithmetic, so they assign identical rates.  The
+        rate vector itself comes from the pluggable rate model; under the
+        default max-min strategy this is byte-identical to the historic
+        inline solve.
         """
         if self.incremental:
             flows, dirty_dirs = self._affected()
@@ -509,16 +539,36 @@ class Network:
         for flow in flows:
             self._settle(flow)
 
-        flow_paths = {flow: flow.directions for flow in flows}
-        capacities: Dict[LinkDirection, float] = {}
-        for flow in flows:
-            for direction in flow.directions:
-                capacities[direction] = direction.capacity
-        rate_caps = {
-            flow: flow.rate_cap for flow in flows if flow.rate_cap is not None
-        }
-        rates = max_min_rates(flow_paths, capacities, rate_caps)
+        rates = self.rate_model.allocate(flows, dirty_dirs)
+        self._apply_rates(flows, rates)
+        self._refresh_loads(flows, dirty_dirs)
 
+    def _epoch_reallocate(self, flows: List[FlowTransfer]) -> None:
+        """Cc epoch entry point: re-rate ``flows`` under updated windows.
+
+        Called by :class:`~repro.netsim.cc.CcRateModel` on its epoch tick
+        with the *whole* active cc flow set (sorted by flow id).  Same
+        settle -> allocate -> apply -> refresh sequence as a churn solve,
+        but without touching the dirty sets: windows moving changes no
+        link membership.  Only directions on active paths can see their
+        aggregate rate move, so only those loads are refreshed.
+        """
+        if not flows:
+            return
+        self.recomputes += 1
+        self.flows_solved += len(flows)
+        for flow in flows:
+            self._settle(flow)
+        rates = self.rate_model.allocate(flows, None)
+        self._apply_rates(flows, rates)
+        touched: set[LinkDirection] = set()
+        for flow in flows:
+            touched.update(flow.directions)
+        self._refresh_loads(flows, touched)
+
+    def _apply_rates(self, flows: List[FlowTransfer],
+                     rates: Dict[FlowTransfer, float]) -> None:
+        """Install new rates and (re)schedule completion events."""
         now = self.sim.now
         for flow in flows:
             new_rate = rates[flow]
@@ -551,8 +601,11 @@ class Network:
                     due, self._complete, flow
                 )
 
-        # Refresh loads and congestion accounting on touched directions
-        # only: an untouched direction's aggregate rate cannot have moved.
+    def _refresh_loads(self, flows: List[FlowTransfer],
+                       dirty_dirs: Optional[set]) -> None:
+        """Refresh loads and congestion accounting on touched directions
+        only: an untouched direction's aggregate rate cannot have moved.
+        ``dirty_dirs=None`` refreshes every direction (full solve)."""
         loads: Dict[LinkDirection, float] = {}
         for flow in flows:
             if not math.isfinite(flow.rate):
@@ -632,9 +685,11 @@ class Network:
     def _detach(self, flow: FlowTransfer) -> None:
         self._active.discard(flow)
         self._dirty_flows.discard(flow)
+        self._rate_caps.pop(flow, None)
         for direction in flow.directions:
             direction.flows.discard(flow)
             self._dirty_directions.add(direction)
+        self.rate_model.on_detach(flow)
         if flow._completion_event is not None:
             flow._completion_event.cancel()
             flow._completion_event = None
@@ -678,4 +733,51 @@ class Network:
                     }
                 )
         rows.sort(key=lambda r: (-r["congested_s"], -r["mean_util"]))
+        return rows
+
+    def path_queue_delay(self, directions: Iterable[LinkDirection]) -> float:
+        """Current queueing delay summed along ``directions``.
+
+        Exactly 0.0 when no queue model is attached (the default max-min
+        rate model), so latency models adding this term stay bit-identical
+        on the default path.
+        """
+        total = 0.0
+        for direction in directions:
+            queue = direction.queue
+            if queue is not None:
+                total += queue.delay_s()
+        return total
+
+    def queue_metrics(self) -> dict:
+        """Fabric-wide queue/ECN rollup (all zeros under max-min).
+
+        See :func:`repro.netsim.cc.queue_metrics`: worst-direction p99
+        occupancy and ECN-mark fraction, summed drops.
+        """
+        directions = []
+        for link in self._links.values():
+            directions.append(link.forward)
+            directions.append(link.reverse)
+        return queue_metrics(directions)
+
+    def queue_report(self) -> list[dict[str, object]]:
+        """Per-direction queue summary, deepest p99 first (cc runs only)."""
+        self.sync()
+        rows = []
+        for link in self._links.values():
+            for direction in (link.forward, link.reverse):
+                queue = direction.queue
+                if queue is None or queue.observed_seconds <= 0:
+                    continue
+                rows.append({
+                    "direction": direction.name,
+                    "queue_p99": (queue.depth_hist.quantile(0.99)
+                                  if queue.depth_hist.total > 0 else 0.0),
+                    "queue_peak": queue.peak_bytes,
+                    "ecn_mark_frac": queue.mark_fraction(),
+                    "dropped_bytes": queue.dropped_bytes,
+                    "drop_events": queue.drop_events,
+                })
+        rows.sort(key=lambda r: (-r["queue_p99"], r["direction"]))
         return rows

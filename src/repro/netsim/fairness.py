@@ -160,8 +160,17 @@ def max_min_rates(
 
     Raises :class:`~repro.errors.ConfigurationError` (a ``ValueError``) on
     a flow referencing an unknown resource or on non-positive capacities.
+
+    ``rate_caps`` is consulted read-only (``.get`` per flow, never
+    iterated), so callers may pass a live superset -- the fabric hands
+    in its incrementally-maintained cap dict covering *all* active flows,
+    and the cc rate model hands in per-flow window demands -- without
+    paying a defensive copy per solve.  Entries for flows outside
+    ``flow_paths`` are never consulted, so the answer only depends on the
+    caps of the flows being solved.
     """
-    rate_caps = dict(rate_caps or {})
+    if rate_caps is None:
+        rate_caps = {}
     for resource, capacity in capacities.items():
         if capacity <= 0:
             raise ConfigurationError(

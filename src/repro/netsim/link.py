@@ -15,9 +15,128 @@ from repro import trace
 from repro.errors import ConfigurationError
 from repro.sim.kernel import Simulator
 from repro.telemetry.series import Counter, Gauge
+from repro.telemetry.stats import LatencyHistogram
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.netsim.fabric import FlowTransfer
+
+
+class QueueState:
+    """Fluid FIFO queue on one link direction (cc rate model only).
+
+    The congestion-control layer treats each direction as a single
+    shallow buffer: inflow is the aggregate *offered* demand the active
+    cc flows place on the direction (refreshed at every allocation),
+    outflow is the direction's live capacity.  Between updates the
+    occupancy evolves piecewise-linearly; the queue records the time
+    spent above the ECN marking threshold, drops the overhang that would
+    exceed the limit (bookkeeping only -- the fabric's byte accounting
+    stays lossless; the drop is a *signal*, like gray-failure loss), and
+    feeds a time-weighted depth histogram for ``queue_depth_p99``.
+
+    The single-bottleneck approximation: a flow contributes its full
+    demand to every direction on its path, so a flow throttled upstream
+    still counts downstream.  On the PiCloud's single-oversubscription
+    fabric the bottleneck is the ToR/host edge and this is exact; on
+    multi-bottleneck paths it overstates downstream occupancy.
+    """
+
+    __slots__ = (
+        "direction", "limit_bytes", "ecn_threshold_bytes",
+        "occupancy", "offered", "_last_update",
+        "marked_seconds", "observed_seconds", "dropped_bytes", "drop_events",
+        "_interval_marked_s", "_interval_observed_s", "_interval_dropped",
+        "peak_bytes", "depth_hist",
+    )
+
+    def __init__(self, direction: "LinkDirection", limit_bytes: float,
+                 ecn_threshold_bytes: float) -> None:
+        self.direction = direction
+        self.limit_bytes = float(limit_bytes)
+        self.ecn_threshold_bytes = float(ecn_threshold_bytes)
+        self.occupancy = 0.0          # bytes queued right now
+        self.offered = 0.0            # aggregate demand (bytes/s) since last allocation
+        self._last_update = direction.sim.now
+        # Cumulative signal accounting (whole run).
+        self.marked_seconds = 0.0     # time spent above the ECN threshold
+        self.observed_seconds = 0.0
+        self.dropped_bytes = 0.0
+        self.drop_events = 0
+        # Interval accumulators, reset by collect() at each cc epoch.
+        self._interval_marked_s = 0.0
+        self._interval_observed_s = 0.0
+        self._interval_dropped = 0.0
+        self.peak_bytes = 0.0
+        # Time-weighted occupancy distribution (1 byte .. 1 GB, fractional
+        # counts = seconds spent at that depth); zero depths land in the
+        # underflow bucket and report as ~the floor.
+        self.depth_hist = LatencyHistogram(
+            min_value=1.0, max_value=1e9, buckets_per_decade=10)
+
+    def advance(self, now: float) -> None:
+        """Integrate occupancy from the last update to ``now``.
+
+        Piecewise-linear: net rate = offered - capacity.  Clamps to
+        [0, limit], accounts time-above-threshold exactly for the linear
+        segment, and books overflow as dropped bytes.
+        """
+        dt = now - self._last_update
+        if dt <= 0.0:
+            return
+        self._last_update = now
+        cap = self.direction.capacity
+        net = self.offered - cap
+        q0 = self.occupancy
+        raw = q0 + net * dt
+        q1 = min(max(raw, 0.0), self.limit_bytes)
+        if raw > self.limit_bytes:
+            overflow = raw - self.limit_bytes
+            self.dropped_bytes += overflow
+            self._interval_dropped += overflow
+            self.drop_events += 1
+        above = self._time_above(q0, net, dt)
+        self.marked_seconds += above
+        self.observed_seconds += dt
+        self._interval_marked_s += above
+        self._interval_observed_s += dt
+        self.occupancy = q1
+        if q1 > self.peak_bytes:
+            self.peak_bytes = q1
+        self.depth_hist.record(q1, count=dt)
+
+    def _time_above(self, q0: float, net: float, dt: float) -> float:
+        """Time within [0, dt] the (clamped) occupancy exceeds the threshold."""
+        k = self.ecn_threshold_bytes
+        if net == 0.0:
+            return dt if q0 > k else 0.0
+        if net > 0.0:
+            if q0 >= k:
+                return dt
+            return max(0.0, dt - (k - q0) / net)
+        # Draining.
+        if q0 <= k:
+            return 0.0
+        return min(dt, (q0 - k) / -net)
+
+    def collect(self) -> tuple[float, float, bool]:
+        """Return (marked_s, observed_s, dropped?) since the last collect and reset."""
+        out = (self._interval_marked_s, self._interval_observed_s,
+               self._interval_dropped > 0.0)
+        self._interval_marked_s = 0.0
+        self._interval_observed_s = 0.0
+        self._interval_dropped = 0.0
+        return out
+
+    def delay_s(self) -> float:
+        """Current queueing delay: occupancy / service rate."""
+        cap = self.direction.capacity
+        return self.occupancy / cap if cap > 0 else 0.0
+
+    def mark_fraction(self) -> float:
+        """Run-long fraction of observed time spent above the ECN threshold."""
+        if self.observed_seconds <= 0:
+            return 0.0
+        return self.marked_seconds / self.observed_seconds
 
 
 class LinkDirection:
@@ -37,6 +156,9 @@ class LinkDirection:
         self.flows: Set["FlowTransfer"] = set()
         self.utilization = Gauge(sim, name=f"{self.name}.util", initial=0.0)
         self.bytes_carried = Counter(sim, name=f"{self.name}.bytes")
+        # Queue occupancy model -- None unless a cc rate model enables it,
+        # so the default max-min path carries no queue state at all.
+        self.queue: Optional[QueueState] = None
         # Congestion accounting: time spent above the congestion threshold.
         self._congested_since: Optional[float] = None
         self.congested_seconds = 0.0
@@ -77,6 +199,16 @@ class LinkDirection:
                 if self._congestion_span is not None:
                     self._congestion_span.end("ok")
                     self._congestion_span = None
+
+    def enable_queue(self, limit_bytes: float, ecn_threshold_bytes: float) -> QueueState:
+        """Attach (or return the existing) queue model to this direction."""
+        if self.queue is None:
+            self.queue = QueueState(self, limit_bytes, ecn_threshold_bytes)
+        return self.queue
+
+    def queue_delay_s(self) -> float:
+        """Current queueing delay on this direction (0.0 without a queue)."""
+        return self.queue.delay_s() if self.queue is not None else 0.0
 
     def finalize_congestion(self) -> None:
         """Close an open congestion interval at the current clock (end of run)."""

@@ -21,6 +21,7 @@ from repro.netsim.sdn.apps import (
     ElephantRerouter,
     LeastCongestedPathApp,
     ShortestPathApp,
+    congestion_score,
 )
 from repro.netsim.sdn.controller import OpenFlowPathService, SdnController
 from repro.netsim.sdn.openflow import FlowEntry, FlowTable, OpenFlowSwitch
@@ -35,4 +36,5 @@ __all__ = [
     "OpenFlowSwitch",
     "SdnController",
     "ShortestPathApp",
+    "congestion_score",
 ]

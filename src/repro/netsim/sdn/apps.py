@@ -28,6 +28,26 @@ from repro.sim.kernel import Simulator
 from repro.sim.process import Timeout
 
 
+def congestion_score(direction) -> float:
+    """How congested a directed link is, in [0, ~1]: the max of its
+    utilisation and (under a cc rate model) its queue occupancy fraction.
+
+    Under max-min no queue state exists and this is *exactly* the
+    utilisation gauge -- the historic score, bit-for-bit.  Under cc,
+    every saturated direction pins near utilisation 1.0, so the standing
+    queue is what distinguishes an actually-overloaded link from one
+    merely running full; folding it in lets the TE apps A/B cleanly
+    across congestion-control protocols.
+    """
+    score = direction.utilization.value
+    queue = direction.queue
+    if queue is not None and queue.limit_bytes > 0:
+        fraction = queue.occupancy / queue.limit_bytes
+        if fraction > score:
+            score = fraction
+    return score
+
+
 def _all_shortest(
     graph: nx.Graph, src: str, dst: str, controller=None
 ) -> List[List[str]]:
@@ -93,7 +113,7 @@ class LeastCongestedPathApp:
         def worst_utilization(path: List[str]) -> float:
             worst = 0.0
             for a, b in path_links(path):
-                worst = max(worst, network.direction(a, b).utilization.value)
+                worst = max(worst, congestion_score(network.direction(a, b)))
             return worst
 
         return min(candidates, key=lambda p: (worst_utilization(p), len(p), p))
@@ -150,7 +170,7 @@ class ElephantRerouter:
             def worst(path: List[str]) -> float:
                 return max(
                     (
-                        self.network.direction(a, b).utilization.value
+                        congestion_score(self.network.direction(a, b))
                         for a, b in path_links(path)
                         # A link's own contribution from this flow is
                         # unavoidable on its first/last hop; still counts.
@@ -166,14 +186,14 @@ class ElephantRerouter:
 
     def _flow_worst(self, flow) -> float:
         return max(
-            (d.utilization.value for d in flow.directions), default=0.0
+            (congestion_score(d) for d in flow.directions), default=0.0
         )
 
     def _elephants_on_hot_links(self):
         seen = set()
         for link in self.network.links():
             for direction in (link.forward, link.reverse):
-                if direction.utilization.value < self.congestion_threshold:
+                if congestion_score(direction) < self.congestion_threshold:
                     continue
                 big = [
                     f for f in direction.flows

@@ -36,7 +36,7 @@ EXPECTED_SURFACE = sorted([
     "SimulationError", "SimBudgetExceeded", "DeadlineExceeded",
     "HardwareError", "OutOfMemoryError", "StorageFullError",
     "PowerStateError",
-    "NetworkError", "NoRouteError", "AddressError",
+    "NetworkError", "NoRouteError", "AddressError", "RateModelError",
     "VirtualisationError", "ContainerStateError", "ImageError",
     "MigrationError",
     "ManagementError", "RestError", "CircuitOpenError", "LeaseError",
@@ -47,6 +47,7 @@ EXPECTED_SURFACE = sorted([
     "CampaignSpec", "CampaignRunner", "CampaignResult",
     "ResultStore", "RunRecord",
     "run_campaign", "render_dashboard",
+    "RateModelConfig",
     "LoadConfig", "LoadError", "LoadEngine", "LoadReport",
     "Service", "ServiceProfile", "SloObjective", "SloTracker",
     "ArrivalProcess", "PoissonArrivals", "DiurnalArrivals",

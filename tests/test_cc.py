@@ -1,0 +1,478 @@
+"""The pluggable congestion-control rate model (repro.netsim.cc).
+
+Four layers of assurance:
+
+* **Window arithmetic** -- hand-computed cwnd sequences drive
+  :class:`CcFlowState.update` directly for each protocol (Reno AIMD,
+  DCTCP's alpha EWMA, the delay-based variant), including the
+  once-per-RTT decrease gate and the min-cwnd floor.
+* **Default-path safety** -- ``rate_model="maxmin"`` allocates no queue
+  state and exports byte-identical traces whether the config says
+  nothing or says ``maxmin`` explicitly (fresh interpreters).
+* **Determinism** -- the seeded incast cell reproduces byte-identically
+  across fresh interpreters; there is no RNG in the cc path.
+* **The headline contrast** -- on the paper-scale 224-host fat-tree,
+  DCTCP holds p99 queue depth under a third of Reno's while giving up
+  less than 10% goodput (the acceptance bar for this subsystem;
+  ``specs/cc_contrast.yaml`` sweeps the same workload).
+"""
+
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.campaign.scenarios import run_cc_contrast
+from repro.core.config import PiCloudConfig, RateModelConfig
+from repro.errors import ConfigurationError, NetworkError, RateModelError
+from repro.netsim import cc
+from repro.netsim.cc import CcFlowState, CcRateModel, MaxMinRateModel
+from repro.netsim.fabric import Network
+from repro.netsim.routing import EcmpRouting
+from repro.netsim.topology import fat_tree
+from repro.sim.kernel import Simulator
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _state(protocol, **overrides):
+    kwargs = dict(
+        rtt_base_s=0.1, init_cwnd_bytes=10_000.0, min_cwnd_bytes=1_000.0,
+        mss_bytes=1_000.0, ai_mss_per_rtt=1.0, md_factor=0.5,
+    )
+    kwargs.update(overrides)
+    return CcFlowState(protocol, **kwargs)
+
+
+class TestRenoWindow:
+    def test_additive_increase_is_one_mss_per_rtt(self):
+        state = _state("reno")
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=False)
+        assert state.cwnd == 11_000.0
+        state.update(now=0.2, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=False)
+        assert state.cwnd == 12_000.0
+
+    def test_partial_epoch_grows_proportionally(self):
+        state = _state("reno")
+        state.update(now=0.05, dt=0.05, rtt_s=0.1, ecn_frac=0.0, loss=False)
+        assert state.cwnd == 10_500.0
+
+    def test_reno_is_ecn_blind(self):
+        """Marks alone never shrink Reno -- that's the whole contrast."""
+        state = _state("reno")
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=1.0, loss=False)
+        assert state.cwnd == 11_000.0
+        assert state.ecn_signals == 1
+        assert state.decreases == 0
+
+    def test_loss_halves_gated_once_per_rtt(self):
+        state = _state("reno")
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=True)
+        assert state.cwnd == 5_000.0
+        assert state.decreases == 1
+        # A second loss within the same RTT is the same congestion event.
+        state.update(now=0.15, dt=0.05, rtt_s=0.1, ecn_frac=0.0, loss=True)
+        assert state.cwnd == 5_000.0
+        assert state.decreases == 1
+        # One RTT later it counts again.
+        state.update(now=0.25, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=True)
+        assert state.cwnd == 2_500.0
+        assert state.decreases == 2
+
+    def test_min_cwnd_floor(self):
+        state = _state("reno")
+        for i in range(20):
+            state.update(now=float(i + 1), dt=1.0, rtt_s=0.1,
+                         ecn_frac=0.0, loss=True)
+        assert state.cwnd == 1_000.0
+
+
+class TestDctcpWindow:
+    def test_alpha_ewma_and_proportional_backoff(self):
+        # g = 0.5 keeps the EWMA arithmetic exact by hand.
+        state = _state("dctcp", dctcp_g=0.5)
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=1.0, loss=False)
+        assert state.alpha == 0.5                      # 0.5*0 + 0.5*1
+        assert state.cwnd == 7_500.0                   # x (1 - 0.5/2)
+        state.update(now=0.2, dt=0.1, rtt_s=0.1, ecn_frac=1.0, loss=False)
+        assert state.alpha == 0.75
+        assert state.cwnd == 7_500.0 * (1.0 - 0.75 / 2.0)  # 4687.5
+
+    def test_alpha_decays_and_growth_resumes_when_marks_stop(self):
+        state = _state("dctcp", dctcp_g=0.5)
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=1.0, loss=False)
+        state.update(now=0.2, dt=0.1, rtt_s=0.1, ecn_frac=1.0, loss=False)
+        state.update(now=0.3, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=False)
+        assert state.alpha == 0.375
+        assert state.cwnd == 4_687.5 + 1_000.0
+
+    def test_loss_still_halves(self):
+        state = _state("dctcp", dctcp_g=0.5)
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=1.0, loss=True)
+        assert state.cwnd == 5_000.0                   # md, not 1-alpha/2
+
+    def test_gentle_when_marks_rare(self):
+        state = _state("dctcp", dctcp_g=0.5)
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=0.1, loss=False)
+        assert state.alpha == 0.05
+        assert state.cwnd == 10_000.0 * (1.0 - 0.05 / 2.0)  # 9750: mild
+
+
+class TestDelayWindow:
+    def test_srtt_seeds_then_smooths(self):
+        state = _state("delay", delay_threshold=1.25, delay_smoothing=0.5)
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=False)
+        assert state.srtt == 0.1                       # first sample seeds
+        assert state.cwnd == 11_000.0                  # below threshold: grow
+
+    def test_backs_off_when_srtt_crosses_threshold(self):
+        state = _state("delay", delay_threshold=1.25, delay_smoothing=0.5)
+        state.update(now=0.1, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=False)
+        state.update(now=0.2, dt=0.1, rtt_s=0.2, ecn_frac=0.0, loss=False)
+        assert state.srtt == pytest.approx(0.15)       # > 1.25 * 0.1
+        assert state.cwnd == 5_500.0
+        # srtt decays back under the threshold -> growth resumes.
+        state.update(now=0.5, dt=0.1, rtt_s=0.1, ecn_frac=0.0, loss=False)
+        assert state.srtt == pytest.approx(0.125)      # not strictly above
+        assert state.cwnd == 6_500.0
+
+
+class TestValidation:
+    def test_unknown_protocol(self):
+        with pytest.raises(RateModelError):
+            CcFlowState("cubic", rtt_base_s=0.1)
+        with pytest.raises(RateModelError):
+            CcRateModel(protocol="cubic")
+
+    @pytest.mark.parametrize("knobs", [
+        {"epoch_s": 0.0},
+        {"queue_limit_bytes": -1.0},
+        {"ecn_threshold_frac": 0.0},
+        {"ecn_threshold_frac": 1.5},
+        {"min_cwnd_bytes": 0.0},
+        {"init_cwnd_bytes": 100.0, "min_cwnd_bytes": 200.0},
+        {"mss_bytes": 0.0},
+        {"ai_mss_per_rtt": 0.0},
+        {"md_factor": 1.0},
+        {"dctcp_g": 0.0},
+        {"delay_threshold": 1.0},
+        {"delay_smoothing": 0.0},
+    ])
+    def test_bad_knobs_raise(self, knobs):
+        with pytest.raises(RateModelError):
+            CcRateModel(**knobs)
+
+    def test_rate_model_error_is_network_and_value_error(self):
+        assert issubclass(RateModelError, NetworkError)
+        assert issubclass(RateModelError, ValueError)
+        assert repro.RateModelError is RateModelError
+        assert repro.RateModelConfig is RateModelConfig
+
+    def test_config_validates_with_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            RateModelConfig(model="bbr")
+        with pytest.raises(ConfigurationError):
+            RateModelConfig(protocol="cubic")
+        with pytest.raises(ConfigurationError):
+            RateModelConfig(model="cc", epoch_s=-1.0)
+
+    def test_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            RateModelConfig("cc")  # noqa: positional args rejected
+
+    def test_model_attaches_to_one_network_only(self):
+        sim = Simulator()
+        topo = fat_tree(4)
+        model = CcRateModel()
+        Network(sim, topo, path_service=EcmpRouting(sim, topo),
+                rate_model=model)
+        sim2 = Simulator()
+        topo2 = fat_tree(4)
+        with pytest.raises(RateModelError):
+            Network(sim2, topo2, path_service=EcmpRouting(sim2, topo2),
+                    rate_model=model)
+
+
+class TestConfigDefaultsInSync:
+    """RateModelConfig's knob defaults ARE cc.py's constants.
+
+    The config layer restates the defaults so ``--help`` and dataclass
+    reprs show real numbers; this pin keeps the two from drifting.
+    """
+
+    PAIRS = [
+        ("epoch_s", cc.DEFAULT_EPOCH_S),
+        ("queue_limit_bytes", cc.DEFAULT_QUEUE_LIMIT_BYTES),
+        ("ecn_threshold_frac", cc.DEFAULT_ECN_THRESHOLD_FRAC),
+        ("init_cwnd_bytes", cc.DEFAULT_INIT_CWND_BYTES),
+        ("min_cwnd_bytes", cc.DEFAULT_MIN_CWND_BYTES),
+        ("mss_bytes", cc.DEFAULT_MSS_BYTES),
+        ("ai_mss_per_rtt", cc.DEFAULT_AI_MSS_PER_RTT),
+        ("md_factor", cc.DEFAULT_MD_FACTOR),
+        ("dctcp_g", cc.DEFAULT_DCTCP_G),
+        ("delay_threshold", cc.DEFAULT_DELAY_THRESHOLD),
+        ("delay_smoothing", cc.DEFAULT_DELAY_SMOOTHING),
+    ]
+
+    def test_config_defaults_match_cc_constants(self):
+        config = RateModelConfig()
+        for name, expected in self.PAIRS:
+            assert getattr(config, name) == expected, name
+
+    def test_built_model_carries_config_knobs(self):
+        model = RateModelConfig(model="cc", protocol="delay").build()
+        assert isinstance(model, CcRateModel)
+        assert model.protocol == "delay"
+        for name, expected in self.PAIRS:
+            assert getattr(model, name) == expected, name
+
+    def test_maxmin_builds_to_none(self):
+        """None means the fabric installs its zero-cost default."""
+        assert RateModelConfig().build() is None
+        assert RateModelConfig(model="maxmin").build() is None
+
+    def test_picloud_config_carries_rate_model(self):
+        config = PiCloudConfig(rate_model=RateModelConfig(model="cc"))
+        assert config.rate_model.model == "cc"
+        assert PiCloudConfig().rate_model.model == "maxmin"
+
+
+class TestMaxminDefaultPath:
+    def test_default_network_uses_maxmin_without_queue_state(self):
+        sim = Simulator()
+        topo = fat_tree(4)
+        net = Network(sim, topo, path_service=EcmpRouting(sim, topo))
+        assert isinstance(net.rate_model, MaxMinRateModel)
+        for link in net.links():
+            assert link.forward.queue is None
+            assert link.reverse.queue is None
+        metrics = net.queue_metrics()
+        assert metrics["queue_depth_p99"] == 0.0
+        assert metrics["ecn_mark_frac"] == 0.0
+        assert metrics["drop_events"] == 0
+
+    def test_rate_caps_maintained_incrementally(self):
+        sim = Simulator()
+        topo = fat_tree(4)
+        net = Network(sim, topo, path_service=EcmpRouting(sim, topo))
+        hosts = sorted(topo.hosts())
+        capped = net.transfer(hosts[0], hosts[1], 1e6, rate_cap=2e6)
+        uncapped = net.transfer(hosts[2], hosts[3], 1e6)
+        sim.run(until=0.01)
+        assert net._rate_caps == {capped: 2e6}
+        assert uncapped.rate > 0.0
+        assert capped.rate <= 2e6 + 1e-6
+        sim.run(until=30.0)      # both complete; the dict empties itself
+        assert net._rate_caps == {}
+
+    def test_cc_honours_rate_cap(self):
+        sim = Simulator()
+        topo = fat_tree(4)
+        net = Network(sim, topo, path_service=EcmpRouting(sim, topo),
+                      rate_model=CcRateModel(protocol="reno"))
+        hosts = sorted(topo.hosts())
+        flow = net.transfer(hosts[0], hosts[1], 1e9, rate_cap=1e5)
+        sim.run(until=2.0)
+        net.sync()
+        assert 0.0 < flow.rate <= 1e5 + 1e-6
+
+    def test_cc_flows_expose_window_state(self):
+        sim = Simulator()
+        topo = fat_tree(4)
+        net = Network(sim, topo, path_service=EcmpRouting(sim, topo),
+                      rate_model=CcRateModel(protocol="dctcp"))
+        hosts = sorted(topo.hosts())
+        flow = net.transfer(hosts[0], hosts[1], 1e9)
+        sim.run(until=1.0)
+        assert flow.cc is not None
+        assert flow.cc.protocol == "dctcp"
+        assert flow.cc.cwnd > 0.0
+
+    def test_path_queue_delay_zero_under_maxmin(self):
+        sim = Simulator()
+        topo = fat_tree(4)
+        net = Network(sim, topo, path_service=EcmpRouting(sim, topo))
+        hosts = sorted(topo.hosts())
+        flow = net.transfer(hosts[0], hosts[1], 1e6)
+        sim.run(until=0.01)
+        assert net.path_queue_delay(flow.directions) == 0.0
+
+
+_TRACE_SCRIPT = """
+import sys
+from repro import PiCloud, PiCloudConfig, RateModelConfig, TraceConfig
+
+explicit = sys.argv[2] == "explicit"
+kwargs = dict(seed=3, routing="ecmp", trace=TraceConfig(enabled=True))
+if explicit:
+    kwargs["rate_model"] = RateModelConfig(model="maxmin")
+config = PiCloudConfig.small(**kwargs)
+cloud = PiCloud(config)
+cloud.boot()
+cloud.network.transfer("pi-r0-n0", "pi-r1-n2", 5e6)
+cloud.run_for(120.0)
+cloud.write_trace(sys.argv[1])
+"""
+
+
+class TestMaxminByteIdentity:
+    def test_explicit_maxmin_config_is_byte_identical_to_default(
+        self, tmp_path
+    ):
+        """Saying ``rate_model=maxmin`` out loud must change nothing:
+        fresh interpreters, same seed, identical trace bytes."""
+        outputs = []
+        for variant in ("default", "explicit"):
+            out = tmp_path / f"trace-{variant}.jsonl"
+            subprocess.run(
+                [sys.executable, "-c", _TRACE_SCRIPT, str(out), variant],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            )
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0]) > 0
+
+
+_INCAST_SCRIPT = """
+import json, sys
+from repro.campaign.scenarios import run_cc_contrast
+
+out = run_cc_contrast(
+    rate_model="cc", protocol=sys.argv[2], hosts=16, fat_tree_k=4,
+    senders=12, flow_bytes=2e6, duration_s=3.0, start_jitter_s=0.005,
+    seed=int(sys.argv[3]),
+)
+with open(sys.argv[1], "w") as fh:
+    json.dump(out, fh, sort_keys=True)
+"""
+
+
+class TestSeededIncastDeterminism:
+    @pytest.mark.parametrize("protocol", ["reno", "dctcp"])
+    def test_same_seed_reproduces_across_interpreters(
+        self, tmp_path, protocol
+    ):
+        outputs = []
+        for run in ("a", "b"):
+            out = tmp_path / f"incast-{run}.json"
+            subprocess.run(
+                [sys.executable, "-c", _INCAST_SCRIPT,
+                 str(out), protocol, "7"],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            )
+            outputs.append(out.read_bytes())
+        assert outputs[0] == outputs[1]
+        metrics = json.loads(outputs[0])
+        assert metrics["delivered_bytes"] > 0.0
+
+    def test_different_seeds_jitter_the_incast(self):
+        kwargs = dict(
+            rate_model="cc", protocol="dctcp", hosts=16, fat_tree_k=4,
+            senders=12, flow_bytes=2e6, duration_s=3.0, start_jitter_s=0.005,
+        )
+        a = run_cc_contrast(seed=7, **kwargs)
+        b = run_cc_contrast(seed=8, **kwargs)
+        assert a != b
+
+
+class TestDctcpVsRenoContrast:
+    """The acceptance bar, on the paper-scale 224-host fat-tree."""
+
+    @pytest.fixture(scope="class")
+    def arms(self):
+        results = {}
+        for protocol in ("reno", "dctcp"):
+            results[protocol] = run_cc_contrast(
+                rate_model="cc", protocol=protocol,
+                hosts=224, fat_tree_k=10,
+                senders=8, flow_bytes=60e6, duration_s=12.0,
+            )
+        return results
+
+    def test_reno_fills_the_buffer(self, arms):
+        reno = arms["reno"]
+        assert reno["queue_depth_p99"] >= 0.9 * cc.DEFAULT_QUEUE_LIMIT_BYTES
+        assert reno["drop_events"] > 0            # loss is Reno's only signal
+
+    def test_dctcp_keeps_queues_below_a_third_of_reno(self, arms):
+        assert arms["dctcp"]["queue_depth_p99"] < (
+            arms["reno"]["queue_depth_p99"] / 3.0
+        )
+
+    def test_dctcp_goodput_within_ten_percent_of_reno(self, arms):
+        assert arms["dctcp"]["goodput_bytes_per_s"] >= (
+            0.9 * arms["reno"]["goodput_bytes_per_s"]
+        )
+
+    def test_dctcp_marks_instead_of_dropping(self, arms):
+        dctcp = arms["dctcp"]
+        assert dctcp["ecn_mark_frac"] > 0.0
+        assert dctcp["dropped_bytes"] <= arms["reno"]["dropped_bytes"]
+
+    def test_maxmin_arm_reports_no_queue_state(self):
+        out = run_cc_contrast(
+            rate_model="maxmin", hosts=16, fat_tree_k=4,
+            senders=8, flow_bytes=1e6, duration_s=2.0,
+        )
+        assert out["queue_depth_p99"] == 0.0
+        assert out["ecn_mark_frac"] == 0.0
+        assert out["delivered_bytes"] > 0.0
+
+
+class TestQueueStateModel:
+    """The fluid queue integration, driven directly."""
+
+    def _queue(self, capacity=1e6, limit=100.0, threshold=50.0):
+        from repro.netsim.link import QueueState
+
+        class _Sim:
+            now = 0.0
+
+        class _Dir:
+            pass
+
+        direction = _Dir()
+        direction.sim = _Sim()
+        direction.capacity = capacity
+        direction.name = "test"
+        queue = QueueState(direction, limit_bytes=limit,
+                           ecn_threshold_bytes=threshold)
+        return queue
+
+    def test_builds_and_drains_linearly(self):
+        queue = self._queue(capacity=100.0, limit=1000.0, threshold=500.0)
+        queue.offered = 150.0          # +50 B/s net inflow
+        queue.advance(2.0)
+        assert queue.occupancy == pytest.approx(100.0)
+        queue.offered = 50.0           # -50 B/s net
+        queue.advance(3.0)
+        assert queue.occupancy == pytest.approx(50.0)
+        queue.advance(10.0)            # drains to empty, clamps at zero
+        assert queue.occupancy == 0.0
+
+    def test_overflow_books_drops_and_clamps(self):
+        queue = self._queue(capacity=100.0, limit=100.0, threshold=50.0)
+        queue.offered = 200.0          # +100 B/s net into a 100 B buffer
+        queue.advance(2.0)
+        assert queue.occupancy == 100.0
+        assert queue.dropped_bytes == pytest.approx(100.0)  # 1s of overflow
+        marked_s, observed_s, dropped = queue.collect()
+        assert dropped is True
+        assert observed_s == pytest.approx(2.0)
+        # Above the 50 B threshold from t=0.5 onward.
+        assert marked_s == pytest.approx(1.5)
+
+    def test_time_above_threshold_is_exact_at_the_crossing(self):
+        queue = self._queue(capacity=100.0, limit=1000.0, threshold=100.0)
+        queue.offered = 200.0          # +100 B/s: crosses 100 B at t=1
+        queue.advance(2.0)
+        marked_s, observed_s, _ = queue.collect()
+        assert marked_s == pytest.approx(1.0)
+        assert observed_s == pytest.approx(2.0)
+        assert queue.mark_fraction() == pytest.approx(0.5)
