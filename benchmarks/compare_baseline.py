@@ -17,7 +17,12 @@ The baseline is always ``BENCH_perf.json``-shaped (the committed repo
 baseline).  A key regresses when ``current > tolerance * baseline``;
 missing scales or keys are hard errors, not silent passes.
 
-Usage (CI's perf-smoke job):
+``--scale`` is repeatable: one invocation gates every listed scale
+against the same current source (useful after a full
+``benchmarks/test_scale_perf.py`` regeneration, where the fresh
+``BENCH_perf.json`` carries all scales including 3456).
+
+Usage (CI's blocking perf gate):
 
     python benchmarks/compare_baseline.py \
         --baseline BENCH_perf.json \
@@ -188,8 +193,10 @@ def main(argv: Sequence[str] = None) -> int:
     parser.add_argument("--current", required=True,
                         help="this run's BENCH json, results.jsonl store, "
                              "or store directory")
-    parser.add_argument("--scale", type=int, default=224,
-                        help="node count to gate (default 224)")
+    parser.add_argument("--scale", type=int, action="append",
+                        dest="scales", default=None, metavar="NODES",
+                        help="node count to gate (repeatable; "
+                             "default 224)")
     parser.add_argument("--key", action="append", dest="keys",
                         default=None, metavar="METRIC",
                         help="metric key to gate (repeatable; default: "
@@ -199,20 +206,21 @@ def main(argv: Sequence[str] = None) -> int:
                              "baseline (default 2.0)")
     args = parser.parse_args(argv)
     keys = args.keys or ["wall_s", "setup_wall_s"]
-
-    try:
-        baseline = load_scale_metrics(args.baseline, args.scale)
-        current = load_scale_metrics(args.current, args.scale)
-        comparisons = compare_metrics(baseline, current, keys,
-                                      args.tolerance)
-    except CompareError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    scales = args.scales or [224]
 
     regressed = False
-    for comparison in comparisons:
-        print(comparison.describe(args.scale))
-        regressed = regressed or comparison.regressed
+    for scale in scales:
+        try:
+            baseline = load_scale_metrics(args.baseline, scale)
+            current = load_scale_metrics(args.current, scale)
+            comparisons = compare_metrics(baseline, current, keys,
+                                          args.tolerance)
+        except CompareError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for comparison in comparisons:
+            print(comparison.describe(scale))
+            regressed = regressed or comparison.regressed
     if regressed:
         print(f"perf regression vs {args.baseline} "
               f"(tolerance {args.tolerance:g}x)", file=sys.stderr)

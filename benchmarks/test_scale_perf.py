@@ -10,7 +10,7 @@ asserted, pinning the optimisation PR 4 exists for.
 The measurement body lives in
 :func:`repro.campaign.scenarios.measure_scale`, shared with the
 ``scale_perf`` campaign scenario -- so ``specs/perf_224.yaml`` (CI's
-``perf-smoke`` job) and this benchmark measure the exact same workload,
+``perf-gate`` job) and this benchmark measure the exact same workload,
 and ``benchmarks/compare_baseline.py`` can gate a campaign result store
 against the committed ``BENCH_perf.json``.
 
@@ -30,7 +30,13 @@ from repro.campaign.scenarios import SCALES, measure_scale
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_PATH = REPO_ROOT / "BENCH_perf.json"
 
-MIN_SPEEDUP_224 = 3.0
+# The incremental-solver floor used to be 3x against a scalar full
+# solve (measured ~38x).  The vectorized water-fill then made the full
+# solve ~12x faster -- big components are exactly its sweet spot -- so
+# the incremental advantage narrowed to ~3.2x.  The floor drops to 2x:
+# still far above noise, and what it pins is "incremental beats
+# re-solving the world", not a particular scalar-era margin.
+MIN_SPEEDUP_224 = 2.0
 
 
 def _selected_scales():

@@ -16,9 +16,14 @@ Built-ins:
   it; CI's ``chaos-smoke`` job runs that spec.
 * ``scale_perf`` -- the consolidation-vs-congestion throughput
   benchmark at 56/224/896 nodes (shared with
-  ``benchmarks/test_scale_perf.py``); CI's ``perf-smoke`` job runs
+  ``benchmarks/test_scale_perf.py``); CI's ``perf-gate`` job runs
   ``specs/perf_224.yaml`` and gates it with
   ``benchmarks/compare_baseline.py``.
+* ``scale_perf_sharded`` -- the same fat-tree/workload run on the
+  sharded parallel kernel (``repro.sim.shard``): per-pod shard
+  simulators under conservative time sync, the control plane as its
+  own shard.  ``specs/shard_smoke.yaml`` sweeps it; CI's
+  ``shard-smoke`` job runs that spec (non-blocking).
 * ``flashcrowd_slo`` -- a million-user flash crowd through the
   session-level load engine (``repro.load``), static ECMP vs the SDN
   TE arm, reported as p99/p999 latency and SLO error-budget burn.
@@ -210,12 +215,13 @@ SCALES = {
     56: (4, 14, 8),
     224: (16, 14, 10),
     896: (64, 14, 16),
+    3456: (216, 16, 24),
 }
 # Chatty container pairs per scale: enough concurrent flows to make the
 # fair-share solver the hot path, bounded so the 896-node run stays in
 # CI-able territory (each spawn costs a fleet-wide placement scan --
 # O(nodes) REST exchanges -- which both solver modes pay identically).
-PAIRS = {56: 6, 224: 12, 896: 16}
+PAIRS = {56: 6, 224: 12, 896: 16, 3456: 20}
 
 WARMUP_S = 30.0
 SETTLE_S = 60.0
@@ -228,6 +234,9 @@ def measure_scale(
     seed: Optional[int] = None,
     budget: Optional[SimBudgetConfig] = None,
     pairs: Optional[int] = None,
+    rate_model: str = "maxmin",
+    protocol: str = "reno",
+    consolidate: bool = True,
 ) -> Dict[str, Any]:
     """Build, load, and drive the consolidation scenario at ``nodes``.
 
@@ -236,10 +245,16 @@ def measure_scale(
     ``benchmarks/test_scale_perf.py`` call this, so the committed
     ``BENCH_perf.json`` baseline and campaign result stores measure the
     exact same workload.
+
+    ``rate_model``/``protocol`` select the fabric's rate assignment
+    (``specs/cc_consolidation.yaml`` sweeps them against the
+    consolidation round); ``consolidate=False`` skips the consolidation
+    round so its congestion cost can be isolated.  The defaults are the
+    exact baseline workload -- byte-identical to every previous release.
     """
     from repro.apps import OnOffTrafficSource
     from repro.core.cloud import PiCloud
-    from repro.core.config import PiCloudConfig
+    from repro.core.config import PiCloudConfig, RateModelConfig
     from repro.placement import Consolidator, WorstFit
     from repro.units import kib
 
@@ -255,6 +270,7 @@ def measure_scale(
         num_racks=racks, pis_per_rack=pis,
         topology="fat-tree", fat_tree_k=k,
         routing="ecmp",
+        rate_model=RateModelConfig(model=rate_model, protocol=protocol),
         seed=nodes if seed is None else seed,
         incremental_fairness=incremental,
         start_monitoring=True,
@@ -291,14 +307,17 @@ def measure_scale(
     start_events = cloud.sim.events_executed
     start = time.monotonic()
     cloud.run_for(WARMUP_S)
-    runtimes = {name: daemon.runtime for name, daemon in cloud.daemons.items()}
-    consolidator = Consolidator(cloud.sim, runtimes, power_off_empty=True)
-    consolidator.run_round()
+    if consolidate:
+        runtimes = {
+            name: daemon.runtime for name, daemon in cloud.daemons.items()
+        }
+        consolidator = Consolidator(cloud.sim, runtimes, power_off_empty=True)
+        consolidator.run_round()
     cloud.run_for(SETTLE_S)
     cloud.run_for(MEASURE_S)
     wall_s = time.monotonic() - start
     events = cloud.sim.events_executed - start_events
-    return {
+    result = {
         "nodes": nodes,
         "incremental": incremental,
         "setup_wall_s": round(setup_wall_s, 3),
@@ -309,6 +328,13 @@ def measure_scale(
         "recomputes": cloud.network.recomputes,
         "flows_solved": cloud.network.flows_solved,
     }
+    if rate_model == "cc":
+        # The queue/ECN counters only exist on the cc path; reporting
+        # them lets the cc x consolidation sweep read congestion cost
+        # directly off the result store.
+        result["consolidate"] = consolidate
+        result.update(cloud.network.queue_metrics())
+    return result
 
 
 @register_scenario("scale_perf")
@@ -320,6 +346,63 @@ def scale_perf(ctx: RunContext) -> Dict[str, Any]:
         seed=ctx.seed,
         budget=ctx.budget,
         pairs=ctx.param("pairs"),
+        rate_model=str(ctx.param("rate_model", "maxmin")),
+        protocol=str(ctx.param("protocol", "reno")),
+        consolidate=bool(ctx.param("consolidate", True)),
+    )
+
+
+def measure_scale_sharded(
+    nodes: int,
+    shards: int,
+    seed: Optional[int] = None,
+    pairs: Optional[int] = None,
+    processes: bool = True,
+    trace: bool = False,
+    profile_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The sharded-kernel counterpart of :func:`measure_scale`.
+
+    Same fat-tree and the same ON/OFF pair workload, but run as per-pod
+    shard kernels under conservative time sync (``repro.sim.shard``)
+    with the control plane as shard 0.  Not byte-comparable to
+    :func:`measure_scale` (see ``docs/performance.md``); the shared keys
+    (``events``, ``wall_s``, ``flows_started``...) make the two
+    regimes comparable side by side in a result store.
+    """
+    from repro.core.config import ShardConfig
+    from repro.netsim.sharded import ShardedWorkload, run_sharded_fat_tree
+
+    if nodes not in SCALES:
+        raise CampaignError(
+            f"unknown scale {nodes}; known: {sorted(SCALES)}"
+        )
+    _, _, k = SCALES[nodes]
+    if shards > k:
+        raise CampaignError(f"shards={shards} exceeds pod count k={k}")
+    pair_count = PAIRS[nodes] if pairs is None else int(pairs)
+    workload = ShardedWorkload(
+        warmup_s=WARMUP_S, measure_s=SETTLE_S + MEASURE_S,
+    )
+    return run_sharded_fat_tree(
+        k=k, hosts=nodes, shards=shards, pairs=pair_count,
+        seed=nodes if seed is None else seed,
+        workload=workload,
+        shard_config=ShardConfig(shards=shards, processes=processes),
+        trace=trace,
+        profile_dir=profile_dir,
+    )
+
+
+@register_scenario("scale_perf_sharded")
+def scale_perf_sharded(ctx: RunContext) -> Dict[str, Any]:
+    """Campaign wrapper over :func:`measure_scale_sharded`."""
+    return measure_scale_sharded(
+        int(ctx.param("nodes", 224)),
+        shards=int(ctx.param("shards", 2)),
+        seed=ctx.seed,
+        pairs=ctx.param("pairs"),
+        processes=bool(ctx.param("processes", True)),
     )
 
 

@@ -1,0 +1,104 @@
+"""Control-plane RPC routing across shard boundaries.
+
+In a sharded run the pimaster/control plane is its own shard (shard 0 --
+see :mod:`repro.netsim.partition`), so every management operation that
+touches a pod (start traffic, poll metrics, place work) becomes a
+cross-shard message.  This module is the thin RPC layer over the shard
+channel: requests carry a method name, parameters, and a correlation id;
+replies route back to the caller's pending-callback table.
+
+Both sides instantiate one :class:`ShardRpcRouter`.  The server side
+registers handlers; the client side issues :meth:`call` with an optional
+reply callback.  All delivery latency comes from the shard channel's
+boundary delay, which doubles as the modelled control-plane RTT -- one
+way per direction, exactly like the REST round-trips of the unsharded
+:mod:`repro.mgmt.rest` path.
+
+Determinism: correlation ids are per-router counters, handlers fire
+inside the destination kernel at the message timestamp, and pending
+callbacks are stored in insertion-ordered dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ManagementError
+
+RPC_KIND = "shard_rpc"
+REPLY_KIND = "shard_rpc_reply"
+
+
+class ShardRpcRouter:
+    """Request/reply plumbing over a :class:`~repro.sim.shard.ShardContext`.
+
+    ``handlers`` maps method name to ``handler(params) -> result``; the
+    result is posted back to the caller automatically (methods that want
+    no reply return ``None`` and callers that want none pass
+    ``on_reply=None`` -- the empty reply still flows, keeping the
+    channel's message pattern uniform and cheap to reason about).
+    """
+
+    def __init__(self, ctx,
+                 handlers: Optional[Dict[str, Callable[[dict], Any]]] = None
+                 ) -> None:
+        self.ctx = ctx
+        self.handlers: Dict[str, Callable[[dict], Any]] = dict(handlers or {})
+        self._next_id = 0
+        self._pending: Dict[int, Callable[[Any], None]] = {}
+        # Counters for the coordinator's merged metrics.
+        self.calls_sent = 0
+        self.calls_served = 0
+
+    def register(self, method: str, handler: Callable[[dict], Any]) -> None:
+        if method in self.handlers:
+            raise ManagementError(f"rpc method {method!r} already registered")
+        self.handlers[method] = handler
+
+    def call(self, dst_shard: int, method: str, params: dict,
+             on_reply: Optional[Callable[[Any], None]] = None) -> int:
+        """Issue ``method(params)`` on ``dst_shard``; returns the call id."""
+        call_id = self._next_id
+        self._next_id += 1
+        if on_reply is not None:
+            self._pending[call_id] = on_reply
+        self.calls_sent += 1
+        self.ctx.post(dst_shard, {
+            "kind": RPC_KIND,
+            "id": call_id,
+            "reply_to": self.ctx.shard_id,
+            "method": method,
+            "params": params,
+        })
+        return call_id
+
+    def dispatch(self, payload: Any) -> bool:
+        """Feed a shard message through the router.
+
+        Returns True when the payload was an RPC request or reply (and
+        was handled); False means it belongs to someone else.
+        """
+        if not isinstance(payload, dict):
+            return False
+        kind = payload.get("kind")
+        if kind == RPC_KIND:
+            handler = self.handlers.get(payload["method"])
+            if handler is None:
+                raise ManagementError(
+                    f"shard {self.ctx.shard_id} has no rpc handler for "
+                    f"{payload['method']!r}"
+                )
+            self.calls_served += 1
+            result = handler(payload["params"])
+            self.ctx.post(payload["reply_to"], {
+                "kind": REPLY_KIND,
+                "id": payload["id"],
+                "result": result,
+            })
+            return True
+        if kind == REPLY_KIND:
+            callback = self._pending.pop(payload["id"], None)
+            if callback is not None:
+                callback(payload["result"])
+            return True
+        return False

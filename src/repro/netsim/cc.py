@@ -136,7 +136,10 @@ class MaxMinRateModel(RateModel):
         for flow in flows:
             for direction in flow.directions:
                 capacities[direction] = direction.capacity
-        return max_min_rates(flow_paths, capacities, network._rate_caps)
+        # validate=False: paths/capacities come straight from fabric
+        # state; re-walking them every solve is pure overhead.
+        return max_min_rates(flow_paths, capacities, network._rate_caps,
+                             validate=False)
 
 
 class CcFlowState:
@@ -408,7 +411,8 @@ class CcRateModel(RateModel):
         for flow in flows:
             for direction in flow.directions:
                 capacities[direction] = direction.capacity
-        rates = max_min_rates(flow_paths, capacities, demands)
+        rates = max_min_rates(flow_paths, capacities, demands,
+                              validate=False)
         # Refresh queue inflows: settle each touched queue with the old
         # offered demand up to now, then set the new aggregate demand.
         # Accumulation follows flow_id order, so the float sums are

@@ -154,6 +154,11 @@ class LinkDirection:
         self.src = src
         self.dst = dst
         self.flows: Set["FlowTransfer"] = set()
+        # Last load applied via set_load; solves touching a direction
+        # whose aggregate rate did not actually move skip the telemetry
+        # and congestion-accounting work entirely.  None forces the next
+        # set_load through (initial state, or capacity changed under us).
+        self._last_load: Optional[float] = None
         self.utilization = Gauge(sim, name=f"{self.name}.util", initial=0.0)
         self.bytes_carried = Counter(sim, name=f"{self.name}.bytes")
         # Queue occupancy model -- None unless a cc rate model enables it,
@@ -180,6 +185,12 @@ class LinkDirection:
 
     def set_load(self, bytes_per_s: float, congestion_threshold: float) -> None:
         """Fabric hook: aggregate flow rate on this direction changed."""
+        if bytes_per_s == self._last_load:
+            # Same load at the same capacity: the fraction, the gauge
+            # level and the congestion state machine's branch are all
+            # identical to the last call, which already settled them.
+            return
+        self._last_load = bytes_per_s
         fraction = bytes_per_s / self.capacity if self.capacity > 0 else 0.0
         self.utilization.set(fraction)
         now = self.sim.now
@@ -283,12 +294,18 @@ class Link:
         self.bandwidth_frac = bandwidth_frac
         self.extra_latency = extra_latency
         self.loss = loss
+        # Capacity may have moved: the same byte rate now means a
+        # different utilisation fraction, so force the next set_load.
+        self.forward._last_load = None
+        self.reverse._last_load = None
 
     def restore(self) -> None:
         """Clear any gray-failure state (back to the healthy identity)."""
         self.bandwidth_frac = 1.0
         self.extra_latency = 0.0
         self.loss = 0.0
+        self.forward._last_load = None
+        self.reverse._last_load = None
 
     def direction(self, src: str, dst: str) -> LinkDirection:
         """The directed half carrying traffic ``src -> dst``."""

@@ -1,0 +1,177 @@
+"""Fat-tree partitioning for the sharded kernel.
+
+A k-ary fat-tree decomposes cleanly along pod boundaries: every link
+belongs to exactly one pod (host--edge and edge--agg links are intra-pod;
+each agg--core link hangs off exactly one pod's aggregation switch, and
+core switches have no core--core links).  That makes "one shard per pod
+group, core switches replicated everywhere" a partition in the strict
+sense -- no link's capacity is shared between two shards -- and the core
+layer the natural *boundary*: a cross-pod path touches exactly one core
+switch, so cutting it there yields an uphill segment solved by the source
+shard and a downhill segment solved by the destination shard
+(see :mod:`repro.netsim.sharded` for how the two halves are coupled).
+
+Shard ids: shard 0 is the control-plane shard (pimaster, placement,
+metric collection -- it owns no fabric); shards ``1..n`` are pod shards,
+pods assigned round-robin so host counts stay balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.netsim.topology import CORE, Topology
+
+CONTROL_SHARD = 0
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """Node -> shard assignment for one fat-tree.
+
+    ``shards`` counts *pod* shards; with the control shard the run has
+    ``shards + 1`` kernels.  ``pod_shard[p]`` is the shard owning pod
+    ``p``; ``node_shard`` covers every non-core node; core switches are
+    replicated into every pod shard (they appear in every
+    :meth:`sub_topology` but in no ``node_shard`` entry).
+    """
+
+    k: int
+    shards: int
+    topology: Topology
+    pod_shard: Dict[int, int] = field(default_factory=dict)
+    node_shard: Dict[str, int] = field(default_factory=dict)
+    node_pod: Dict[str, int] = field(default_factory=dict)
+
+    def shard_of(self, node: str) -> Optional[int]:
+        """The pod shard owning ``node`` (None for replicated cores)."""
+        return self.node_shard.get(node)
+
+    def pods_of(self, shard_id: int) -> List[int]:
+        """The pods assigned to one pod shard, ascending."""
+        return sorted(p for p, s in self.pod_shard.items() if s == shard_id)
+
+    def shard_ids(self) -> List[int]:
+        """All pod shard ids (control shard 0 excluded), ascending."""
+        return list(range(1, self.shards + 1))
+
+    def sub_topology(self, shard_id: int) -> Topology:
+        """The shard's local fabric: its pods plus every core switch.
+
+        Each agg switch stripes into ``k/2`` distinct cores, so the pods
+        of any one shard plus the full core layer stay connected and the
+        sub-topology validates.  Every link of the parent topology lands
+        in exactly one sub-topology.
+        """
+        pods = set(self.pods_of(shard_id))
+        if not pods:
+            raise NetworkError(f"shard {shard_id} owns no pods")
+        graph = self.topology.graph
+        sub = Topology(name=f"{self.topology.name}-shard{shard_id}")
+        for node in sorted(graph.nodes):
+            data = graph.nodes[node]
+            local = self.node_pod.get(node) in pods
+            if not local and data["kind"] != CORE:
+                continue
+            if data["kind"] == "host":
+                sub.add_host(node, rack=data.get("rack"))
+            else:
+                sub.add_switch(node, data["kind"], rack=data.get("rack"),
+                               openflow=bool(data.get("openflow")))
+        for a, b in sorted(graph.edges):
+            if self.node_pod.get(a) in pods or self.node_pod.get(b) in pods:
+                spec = graph.edges[a, b]["spec"]
+                sub.connect(a, b, spec.bandwidth, spec.latency)
+        sub.validate()
+        return sub
+
+    def boundary_links(self) -> List[Tuple[str, str]]:
+        """The agg--core links, i.e. every cable a cross-pod flow crosses."""
+        out = []
+        graph = self.topology.graph
+        for a, b in sorted(graph.edges):
+            kinds = {graph.nodes[a]["kind"], graph.nodes[b]["kind"]}
+            if CORE in kinds:
+                out.append((a, b))
+        return out
+
+    def split_path(self, path: List[str]) -> List[Tuple[int, List[str]]]:
+        """Cut a path at the core switch into per-shard segments.
+
+        Returns ``[(shard, segment)]``: one entry for an intra-pod path,
+        two (uphill ending at the core, downhill starting at it -- the
+        core node appears in both) for a cross-pod path.
+        """
+        shards = [self.node_shard.get(node) for node in path]
+        owners = sorted({s for s in shards if s is not None})
+        if len(owners) == 1:
+            return [(owners[0], list(path))]
+        if len(owners) != 2:
+            raise NetworkError(f"path {path} spans {len(owners)} shards")
+        cores = [i for i, node in enumerate(path)
+                 if self.topology.kind(node) == CORE]
+        if len(cores) != 1:
+            raise NetworkError(
+                f"cross-pod path {path} crosses {len(cores)} core switches"
+            )
+        cut = cores[0]
+        src_shard = shards[0]
+        dst_shard = shards[-1]
+        if src_shard is None or dst_shard is None:
+            raise NetworkError(f"path {path} does not start/end in a pod")
+        return [(src_shard, list(path[: cut + 1])),
+                (dst_shard, list(path[cut:]))]
+
+
+def partition_fat_tree(topology: Topology, shards: int,
+                       k: Optional[int] = None) -> PartitionMap:
+    """Assign a fat-tree's pods round-robin to ``shards`` pod shards.
+
+    ``topology`` must come from :func:`repro.netsim.topology.fat_tree`
+    (pods are the ``pod<p>`` racks).  ``shards`` may not exceed the pod
+    count -- every shard needs at least one pod or its sub-topology
+    would be empty.
+    """
+    node_pod: Dict[str, int] = {}
+    pods: set[int] = set()
+    graph = topology.graph
+    for node in graph.nodes:
+        rack = graph.nodes[node].get("rack")
+        if rack is None:
+            if graph.nodes[node]["kind"] != CORE:
+                raise NetworkError(
+                    f"non-core node {node!r} has no pod rack; "
+                    "partition_fat_tree needs a fat_tree() topology"
+                )
+            continue
+        if not rack.startswith("pod"):
+            raise NetworkError(
+                f"rack {rack!r} is not a fat-tree pod; "
+                "partition_fat_tree needs a fat_tree() topology"
+            )
+        pod = int(rack[3:])
+        node_pod[node] = pod
+        pods.add(pod)
+    if not pods:
+        raise NetworkError("topology has no pods to partition")
+    if k is None:
+        k = len(pods)
+    if shards < 1:
+        raise NetworkError(f"need at least one shard, got {shards}")
+    if shards > len(pods):
+        raise NetworkError(
+            f"{shards} shards but only {len(pods)} pods; "
+            "every shard needs at least one pod"
+        )
+    pod_shard = {pod: 1 + (pod % shards) for pod in sorted(pods)}
+    node_shard = {node: pod_shard[pod] for node, pod in node_pod.items()}
+    return PartitionMap(
+        k=k,
+        shards=shards,
+        topology=topology,
+        pod_shard=pod_shard,
+        node_shard=node_shard,
+        node_pod=node_pod,
+    )

@@ -1,0 +1,405 @@
+"""The sharded fat-tree fabric: per-pod kernels with boundary flows.
+
+This is the concrete model the sharded kernel (:mod:`repro.sim.shard`)
+runs for fat-tree scale benchmarks.  Each pod shard owns a
+:class:`~repro.netsim.fabric.Network` over its pods plus the (replicated)
+core layer; the control shard (shard 0) owns no fabric -- it is the
+pimaster, issuing start/metrics RPCs over :mod:`repro.mgmt.shard_rpc`.
+
+Cross-pod traffic becomes a *boundary flow*: the end-to-end ECMP path is
+resolved against the full topology (in the parent, before workers fork),
+cut at its single core switch by the partitioner, and run as two
+concurrent half-flows -- the uphill segment (host..core) in the source
+shard and the downhill segment (core..host) in the destination shard,
+started one boundary delay later by a ``flow_open`` channel message.
+Each half is an ordinary fabric flow solved inside its shard's local
+bottleneck components; since every link belongs to exactly one pod, the
+two halves share no resources and the end-to-end completion time is the
+later of the two halves' -- the fluid-model behaviour of a flow
+bottlenecked at the slower segment.  The destination posts ``flow_done``
+back so the source shard owns end-to-end accounting.
+
+Model error vs the unsharded kernel (documented in
+``docs/performance.md``): cross-pod effects propagate with the boundary
+delay rather than the physical core-link latency, and each half-flow
+drains at its local fair share rather than the global end-to-end rate.
+``shards=1`` therefore bypasses this module entirely -- the unsharded
+path stays byte-identical to every previous release.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.apps.traffic import OnOffTrafficSource
+from repro.core.config import ShardConfig
+from repro.errors import NetworkError
+from repro.mgmt.shard_rpc import ShardRpcRouter
+from repro.netsim.fabric import FlowState, Network
+from repro.netsim.partition import CONTROL_SHARD, PartitionMap, \
+    partition_fat_tree
+from repro.netsim.routing import EcmpRouting, PathCache
+from repro.netsim.topology import fat_tree
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.shard import ShardCoordinator, ShardContext, ShardProgram
+from repro.trace.tracer import Tracer, iter_span_dicts
+from repro.units import kib
+
+
+def ecmp_path(cache: PathCache, src: str, dst: str, flow_key) -> List[str]:
+    """The ECMP path choice, synchronously.
+
+    Bit-identical to :meth:`repro.netsim.routing.EcmpRouting.resolve`
+    (same digest over the same key), so a boundary flow takes exactly
+    the hops the unsharded fabric would have picked for the same pair.
+    """
+    group, prefix, suffix = cache.path_group(src, dst)
+    digest = hashlib.sha256(repr((src, dst, flow_key)).encode()).digest()
+    index = int.from_bytes(digest[:4], "big") % len(group)
+    return prefix + list(group[index]) + suffix
+
+
+@dataclass(frozen=True)
+class ShardedWorkload:
+    """The ON/OFF pair workload a sharded benchmark run drives."""
+
+    message_bytes: int = int(kib(64))
+    rate_per_s: float = 20.0
+    on_mean_s: float = 2.0
+    off_mean_s: float = 0.5
+    warmup_s: float = 30.0
+    measure_s: float = 90.0
+    poll_interval_s: float = 10.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.warmup_s + self.measure_s
+
+
+@dataclass(frozen=True)
+class _PairPlan:
+    """One traffic pair, with routing pre-resolved and pre-split."""
+
+    index: int
+    src: str
+    dst: str
+    src_shard: int
+    dst_shard: int
+    uphill: Tuple[str, ...]             # src segment (intra-pod: full path)
+    downhill: Tuple[str, ...] = ()      # dst segment (empty for intra-pod)
+
+    @property
+    def cross(self) -> bool:
+        return bool(self.downhill)
+
+
+def plan_pairs(
+    partition: PartitionMap,
+    pairs: List[Tuple[str, str]],
+    structured: bool = True,
+) -> List[_PairPlan]:
+    """Resolve and split every pair's ECMP path against the full tree."""
+    cache = PathCache(partition.topology, structured)
+    plans: List[_PairPlan] = []
+    for index, (src, dst) in enumerate(pairs):
+        path = ecmp_path(cache, src, dst, f"pair{index}")
+        segments = partition.split_path(path)
+        if len(segments) == 1:
+            shard, segment = segments[0]
+            plans.append(_PairPlan(index, src, dst, shard, shard,
+                                   tuple(segment)))
+        else:
+            (src_shard, uphill), (dst_shard, downhill) = segments
+            plans.append(_PairPlan(index, src, dst, src_shard, dst_shard,
+                                   tuple(uphill), tuple(downhill)))
+    return plans
+
+
+class PodShardProgram(ShardProgram):
+    """One pod shard: local fabric, local traffic, boundary half-flows."""
+
+    def __init__(self, shard_id: int, partition: PartitionMap,
+                 plans: List[_PairPlan], workload: ShardedWorkload,
+                 trace: bool = False) -> None:
+        self.shard_id = shard_id
+        self.partition = partition
+        self.sources = [p for p in plans if p.src_shard == shard_id]
+        self.sinks = {p.index: p for p in plans
+                      if p.cross and p.dst_shard == shard_id}
+        self.workload = workload
+        self.trace = trace
+
+    def build(self, ctx: ShardContext) -> None:
+        self.ctx = ctx
+        self.sim = Simulator()
+        self.tracer = Tracer(self.sim) if self.trace else None
+        topo = self.partition.sub_topology(self.shard_id)
+        self.net = Network(
+            self.sim, topo, path_service=EcmpRouting(self.sim, topo)
+        )
+        self.rng = RngRegistry(ctx.seed).fork(f"shard{self.shard_id}")
+        self.completed_e2e = 0
+        self.open_uphill: Dict[int, int] = {}   # pair index -> open count
+        self._traffic: List[OnOffTrafficSource] = []
+        self.rpc = ShardRpcRouter(ctx, handlers={
+            "start_traffic": self._rpc_start_traffic,
+            "metrics": self._rpc_metrics,
+        })
+        self.net.flow_observers.append(self._on_flow_event)
+
+    # -- RPC handlers (called by the control shard) -----------------------
+
+    def _rpc_start_traffic(self, params: dict) -> dict:
+        until = float(params["until"])
+        for plan in self.sources:
+            self._traffic.append(OnOffTrafficSource(
+                self.sim,
+                self.rng.stream(f"pair{plan.index}"),
+                self._sender(plan),
+                on_mean_s=self.workload.on_mean_s,
+                off_mean_s=self.workload.off_mean_s,
+                rate_per_s=self.workload.rate_per_s,
+                duration_s=max(0.0, until - self.sim.now),
+            ))
+        return {"sources": len(self._traffic)}
+
+    def _rpc_metrics(self, params: dict) -> dict:
+        return self.metrics()
+
+    # -- traffic ----------------------------------------------------------
+
+    def _sender(self, plan: _PairPlan):
+        nbytes = float(self.workload.message_bytes)
+
+        def send() -> None:
+            key = f"pair{plan.index}"
+            if not plan.cross:
+                self.net.transfer(plan.src, plan.dst, nbytes, flow_key=key,
+                                  tag="intra", path=list(plan.uphill))
+                return
+            self.net.transfer(plan.src, plan.uphill[-1], nbytes,
+                              flow_key=key, tag="up",
+                              path=list(plan.uphill))
+            self.open_uphill[plan.index] = \
+                self.open_uphill.get(plan.index, 0) + 1
+            self.ctx.post(plan.dst_shard, {
+                "kind": "flow_open",
+                "pair": plan.index,
+                "bytes": nbytes,
+            })
+
+        return send
+
+    def _on_flow_event(self, flow) -> None:
+        if flow.state is not FlowState.DONE:
+            return
+        if flow.tag == "intra":
+            self.completed_e2e += 1
+        elif flow.tag == "down":
+            plan = self.sinks[flow.down_pair]
+            self.ctx.post(plan.src_shard, {
+                "kind": "flow_done",
+                "pair": plan.index,
+            })
+
+    # -- channel messages --------------------------------------------------
+
+    def on_message(self, payload: Any) -> None:
+        if self.rpc.dispatch(payload):
+            return
+        kind = payload.get("kind") if isinstance(payload, dict) else None
+        if kind == "flow_open":
+            plan = self.sinks[payload["pair"]]
+            flow = self.net.transfer(
+                plan.downhill[0], plan.dst, float(payload["bytes"]),
+                flow_key=f"pair{plan.index}", tag="down",
+                path=list(plan.downhill),
+            )
+            flow.down_pair = plan.index
+        elif kind == "flow_done":
+            count = self.open_uphill.get(payload["pair"], 0)
+            if count <= 0:
+                raise NetworkError(
+                    f"shard {self.shard_id}: flow_done for pair "
+                    f"{payload['pair']} with no open uphill flow"
+                )
+            self.open_uphill[payload["pair"]] = count - 1
+            self.completed_e2e += 1
+        else:
+            raise NetworkError(
+                f"shard {self.shard_id}: unknown message {payload!r}"
+            )
+
+    # -- results ----------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        return {
+            "events": self.sim.events_executed,
+            "now": self.sim.now,
+            "flows_started": self.net.flows_started.total,
+            "flows_completed": self.net.flows_completed.total,
+            "completed_e2e": self.completed_e2e,
+            "bytes_delivered": self.net.bytes_delivered.total,
+            "recomputes": self.net.recomputes,
+            "flows_solved": self.net.flows_solved,
+            "rpcs_served": self.rpc.calls_served,
+        }
+
+    def finalize(self) -> Dict[str, Any]:
+        self.net.sync()
+        return self.metrics()
+
+    def span_dicts(self) -> List[Dict[str, Any]]:
+        if self.tracer is None:
+            return []
+        return list(iter_span_dicts(self.tracer.spans))
+
+
+class ControlShardProgram(ShardProgram):
+    """Shard 0: the pimaster.  Owns no fabric; drives pods over RPC."""
+
+    def __init__(self, partition: PartitionMap,
+                 workload: ShardedWorkload) -> None:
+        self.partition = partition
+        self.workload = workload
+
+    def build(self, ctx: ShardContext) -> None:
+        self.ctx = ctx
+        self.sim = Simulator()
+        self.rpc = ShardRpcRouter(ctx)
+        self.started: Dict[int, int] = {}
+        self.poll_samples: List[Dict[str, Any]] = []
+        self._outstanding = 0
+        self.sim.schedule(0.0, self._start_all)
+        interval = self.workload.poll_interval_s
+        t = interval
+        while t < self.workload.duration_s:
+            self.sim.schedule(t, self._poll_all)
+            t += interval
+
+    def _start_all(self) -> None:
+        until = self.workload.duration_s
+        for shard_id in self.partition.shard_ids():
+            self.rpc.call(shard_id, "start_traffic", {"until": until},
+                          on_reply=self._on_started(shard_id))
+
+    def _on_started(self, shard_id: int):
+        def reply(result: dict) -> None:
+            self.started[shard_id] = result["sources"]
+        return reply
+
+    def _poll_all(self) -> None:
+        sample: Dict[str, Any] = {"t": self.sim.now, "shards": {}}
+        self.poll_samples.append(sample)
+
+        def on_reply(shard_id: int):
+            def reply(result: dict) -> None:
+                sample["shards"][shard_id] = result
+            return reply
+
+        for shard_id in self.partition.shard_ids():
+            self.rpc.call(shard_id, "metrics", {}, on_reply(shard_id))
+
+    def on_message(self, payload: Any) -> None:
+        if not self.rpc.dispatch(payload):
+            raise NetworkError(f"control shard: unknown message {payload!r}")
+
+    def finalize(self) -> Dict[str, Any]:
+        complete = [s for s in self.poll_samples if s["shards"]]
+        return {
+            "events": self.sim.events_executed,
+            "now": self.sim.now,
+            "sources_started": dict(self.started),
+            "polls": len(complete),
+            "rpcs_sent": self.rpc.calls_sent,
+        }
+
+
+def run_sharded_fat_tree(
+    *,
+    k: int,
+    hosts: int,
+    shards: int,
+    pairs: int,
+    seed: int = 0,
+    workload: Optional[ShardedWorkload] = None,
+    shard_config: Optional[ShardConfig] = None,
+    trace: bool = False,
+    budget=None,
+    profile_dir: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build, partition, and run one sharded fat-tree benchmark.
+
+    Returns merged metrics: per-shard counters summed, plus the
+    coordinator's sync-round statistics.  Deterministic for a given
+    ``(k, hosts, shards, pairs, seed, workload, shard_config)`` under
+    any ``PYTHONHASHSEED`` and any process scheduling.
+    """
+    if workload is None:
+        workload = ShardedWorkload()
+    if shard_config is None:
+        shard_config = ShardConfig(shards=shards)
+    elif shard_config.shards != shards:
+        raise NetworkError(
+            f"shard_config.shards={shard_config.shards} != shards={shards}"
+        )
+    host_names = [f"h{i}" for i in range(hosts)]
+    topo = fat_tree(k, hosts=host_names)
+    partition = partition_fat_tree(topo, shards, k=k)
+
+    rng = random.Random(seed)
+    chosen: List[Tuple[str, str]] = []
+    for _ in range(pairs):
+        src, dst = rng.sample(host_names, 2)
+        chosen.append((src, dst))
+    plans = plan_pairs(partition, chosen)
+
+    factories: Dict[int, Any] = {
+        CONTROL_SHARD: lambda sid: ControlShardProgram(partition, workload),
+    }
+    for shard_id in partition.shard_ids():
+        factories[shard_id] = (
+            lambda sid, _sid=shard_id: PodShardProgram(
+                _sid, partition, plans, workload, trace=trace)
+        )
+
+    coordinator = ShardCoordinator(factories, shard_config, budget=budget,
+                                   profile_dir=profile_dir)
+    result = coordinator.run(workload.duration_s, seed=seed)
+
+    pod_metrics = {sid: m for sid, m in result.metrics.items()
+                   if sid != CONTROL_SHARD}
+    merged: Dict[str, Any] = {
+        "nodes": hosts,
+        "fat_tree_k": k,
+        "shards": shards,
+        "pairs": pairs,
+        "sim_time_s": result.now,
+        "rounds": result.rounds,
+        "events": result.events_total,
+        "wall_s": result.wall_s,
+        "events_per_s": (
+            int(result.events_total / result.wall_s)
+            if result.wall_s > 0 else 0
+        ),
+        "cross_pairs": sum(1 for p in plans if p.cross),
+        "flows_started": sum(m["flows_started"] for m in pod_metrics.values()),
+        "flows_completed": sum(
+            m["flows_completed"] for m in pod_metrics.values()),
+        "completed_e2e": sum(m["completed_e2e"] for m in pod_metrics.values()),
+        "bytes_delivered": sum(
+            m["bytes_delivered"] for m in pod_metrics.values()),
+        "recomputes": sum(m["recomputes"] for m in pod_metrics.values()),
+        "flows_solved": sum(m["flows_solved"] for m in pod_metrics.values()),
+        "control": result.metrics.get(CONTROL_SHARD, {}),
+        "per_shard": {str(sid): m for sid, m in result.metrics.items()},
+    }
+    if trace:
+        merged["spans"] = result.spans
+    if profile_dir is not None:
+        merged["profile_paths"] = coordinator.shard_profile_paths()
+    return merged

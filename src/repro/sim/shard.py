@@ -1,0 +1,466 @@
+"""Sharded parallel kernel: conservative time sync across processes.
+
+One :class:`Simulator` per shard, each running in its own worker process
+(or inline for debugging), advanced in *windows* under the classic
+synchronous conservative-PDES scheme:
+
+1. Every shard reports the timestamp of its earliest pending event.
+2. The coordinator computes ``floor`` = the minimum over those and over
+   every undelivered cross-shard message, and grants the window
+   ``[floor, floor + lookahead)``.
+3. Each shard first schedules its inbound messages -- sorted by the
+   deterministic merge key ``(time, priority, src_shard, seq)`` -- then
+   executes every local event strictly below the horizon.
+4. Outbound messages are collected and routed at the barrier.
+
+Safety: a message posted by an event at time ``t`` is stamped
+``t + delay`` with ``delay >= lookahead``; since every event executed in
+a window satisfies ``t >= floor``, no message can arrive before
+``floor + lookahead`` -- i.e. before a horizon that has already been
+granted.  Lookahead is :attr:`ShardConfig.boundary_delay_s`, the
+modelled cross-pod boundary latency (see ``docs/performance.md`` for why
+it is coarser than the physical core-link latency).
+
+Determinism: the coordinator's arithmetic is pure; each worker's
+execution depends only on its seed and its (sorted) inbound batches; and
+message ``seq`` numbers are per-sender counters.  Runs are therefore
+bit-identical run-to-run regardless of OS scheduling or
+``PYTHONHASHSEED`` -- though *not* identical to the unsharded kernel,
+which interleaves all events in one queue.
+
+The cross-shard channel is bounded: a shard whose undelivered outbox
+reaches :attr:`ShardConfig.channel_capacity` pauses its window early and
+resumes after the barrier drains it (backpressure, never unbounded
+buffering).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import time as _time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+from repro.core.config import ShardConfig
+from repro.errors import SimBudgetExceeded, SimulationError
+from repro.sim.budget import BudgetSnapshot, RunBudget
+
+_INF = float("inf")
+
+
+class ShardMessage(NamedTuple):
+    """One cross-shard event, ordered by the deterministic merge key."""
+
+    time: float
+    priority: int
+    src_shard: int
+    seq: int
+    dst_shard: int
+    payload: Any
+
+
+@dataclass
+class ShardContext:
+    """What a shard program sees of the sharded run."""
+
+    shard_id: int
+    shards: int                 # pod shard count (control shard excluded)
+    config: ShardConfig
+    seed: int
+    _post: Callable[..., None] = None  # installed by the worker
+
+    @property
+    def lookahead(self) -> float:
+        return self.config.boundary_delay_s
+
+    def post(self, dst_shard: int, payload: Any, *, priority: int = 0,
+             delay: Optional[float] = None) -> None:
+        """Send ``payload`` to another shard, arriving ``delay`` from now.
+
+        ``delay`` defaults to the lookahead and may not be smaller -- a
+        shorter delay could arrive inside an already-granted window.
+        """
+        self._post(dst_shard, payload, priority, delay)
+
+
+class ShardProgram:
+    """Base class for the model a shard runs.
+
+    Subclasses override :meth:`build` (create ``self.sim`` and schedule
+    initial events), :meth:`on_message` (invoked *inside* the kernel at
+    the message's timestamp), and :meth:`finalize` (the metrics dict
+    returned to the coordinator).  Programs must be constructed cheaply
+    in the parent; all heavy state belongs in :meth:`build`, which runs
+    in the worker process.
+    """
+
+    sim = None  # set by build()
+
+    def build(self, ctx: ShardContext) -> None:
+        raise NotImplementedError
+
+    def on_message(self, payload: Any) -> None:
+        raise NotImplementedError
+
+    def finalize(self) -> Dict[str, Any]:
+        return {}
+
+    def span_dicts(self) -> List[Dict[str, Any]]:
+        """Trace spans to merge into the coordinator's export."""
+        return []
+
+
+class _ShardWorker:
+    """Runs one shard's kernel window by window (in-process engine)."""
+
+    def __init__(self, shard_id: int, program: ShardProgram,
+                 config: ShardConfig, seed: int) -> None:
+        self.shard_id = shard_id
+        self.program = program
+        self.config = config
+        self._outbox: List[ShardMessage] = []
+        self._seq = 0
+        ctx = ShardContext(shard_id=shard_id, shards=config.shards,
+                           config=config, seed=seed)
+        ctx._post = self._post
+        self.ctx = ctx
+        program.build(ctx)
+        if program.sim is None:
+            raise SimulationError(
+                f"shard {shard_id} program did not create a Simulator"
+            )
+
+    def _post(self, dst_shard: int, payload: Any, priority: int,
+              delay: Optional[float]) -> None:
+        lookahead = self.config.boundary_delay_s
+        if delay is None:
+            delay = lookahead
+        elif delay < lookahead:
+            raise SimulationError(
+                f"cross-shard delay {delay} is below the lookahead "
+                f"{lookahead}; it could arrive inside a granted window"
+            )
+        self._outbox.append(ShardMessage(
+            time=self.program.sim.now + delay,
+            priority=priority,
+            src_shard=self.shard_id,
+            seq=self._seq,
+            dst_shard=dst_shard,
+            payload=payload,
+        ))
+        self._seq += 1
+
+    def peek(self) -> float:
+        t = self.program.sim.peek()
+        return _INF if t is None else t
+
+    def window(self, horizon: float, inbox: List[ShardMessage],
+               inclusive: bool) -> tuple[float, List[ShardMessage], int, int]:
+        """Deliver ``inbox`` then run to ``horizon``.
+
+        Returns ``(next_time, outbox, events_delta, pending)``.  The
+        inbox is sorted by the merge key here -- not trusted to arrive
+        sorted -- so kernel sequence numbers are assigned in a
+        reproducible order.
+        """
+        sim = self.program.sim
+        for msg in sorted(inbox):
+            sim.schedule_at(msg.time, self.program.on_message, msg.payload,
+                            priority=msg.priority)
+        capacity = self.config.channel_capacity
+        start = sim.events_executed
+        while len(self._outbox) < capacity:
+            t = sim.peek()
+            if t is None or (t > horizon if inclusive else t >= horizon):
+                break
+            sim.step()
+        outbox, self._outbox = self._outbox, []
+        return self.peek(), outbox, sim.events_executed - start, \
+            sim.pending_events()
+
+    def finish(self) -> tuple[Dict[str, Any], List[Dict[str, Any]]]:
+        metrics = self.program.finalize()
+        return metrics, self.program.span_dicts()
+
+
+def _worker_process_main(shard_id: int, factory, config: ShardConfig,
+                         seed: int, conn, profile_path: Optional[str]) -> None:
+    """Child-process entry: serve window commands over the pipe."""
+    profiler = None
+    if profile_path is not None:
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        worker = _ShardWorker(shard_id, factory(shard_id), config, seed)
+        conn.send(("ready", worker.peek()))
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "window":
+                _, horizon, inbox, inclusive = cmd
+                conn.send(("done",) + worker.window(horizon, inbox, inclusive))
+            elif cmd[0] == "finish":
+                metrics, spans = worker.finish()
+                if profiler is not None:
+                    profiler.disable()
+                    profiler.dump_stats(profile_path)
+                    profiler = None
+                conn.send(("result", metrics, spans))
+                return
+            else:  # pragma: no cover - protocol guard
+                raise SimulationError(f"unknown shard command {cmd[0]!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+
+
+class _InlineHandle:
+    """Drives a worker in-process (``ShardConfig(processes=False)``)."""
+
+    def __init__(self, shard_id: int, factory, config: ShardConfig,
+                 seed: int) -> None:
+        self.worker = _ShardWorker(shard_id, factory(shard_id), config, seed)
+
+    def initial_peek(self) -> float:
+        return self.worker.peek()
+
+    def start_window(self, horizon, inbox, inclusive) -> None:
+        self._reply = ("done",) + self.worker.window(horizon, inbox, inclusive)
+
+    def collect(self):
+        return self._reply
+
+    def finish(self):
+        return ("result",) + self.worker.finish()
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessHandle:
+    """Drives a worker in a forked child over a duplex pipe."""
+
+    def __init__(self, shard_id: int, factory, config: ShardConfig,
+                 seed: int, profile_path: Optional[str]) -> None:
+        import multiprocessing
+
+        mp = multiprocessing.get_context("fork")
+        self.conn, child = mp.Pipe(duplex=True)
+        self.process = mp.Process(
+            target=_worker_process_main,
+            args=(shard_id, factory, config, seed, child, profile_path),
+            name=f"shard-{shard_id}",
+            daemon=True,
+        )
+        self.shard_id = shard_id
+        self.process.start()
+        child.close()
+
+    def _recv(self):
+        reply = self.conn.recv()
+        if reply[0] == "error":
+            raise SimulationError(
+                f"shard {self.shard_id} worker failed:\n{reply[1]}"
+            )
+        return reply
+
+    def initial_peek(self) -> float:
+        return self._recv()[1]
+
+    def start_window(self, horizon, inbox, inclusive) -> None:
+        self.conn.send(("window", horizon, inbox, inclusive))
+
+    def collect(self):
+        return self._recv()
+
+    def finish(self):
+        self.conn.send(("finish",))
+        return self._recv()
+
+    def close(self) -> None:
+        self.conn.close()
+        self.process.join(timeout=10)
+        if self.process.is_alive():  # pragma: no cover - cleanup guard
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+class ShardRunResult(NamedTuple):
+    """What a completed sharded run hands back."""
+
+    now: float
+    rounds: int
+    events_total: int
+    metrics: Dict[int, Dict[str, Any]]
+    spans: List[Dict[str, Any]]
+    wall_s: float
+
+
+class ShardCoordinator:
+    """Owns the shard workers and drives the conservative-sync rounds.
+
+    ``factories`` maps shard id to a callable ``factory(shard_id) ->
+    ShardProgram``; with ``config.processes`` the factory runs in the
+    forked child, so it (and everything it closes over) must be
+    picklable-by-fork, i.e. constructed before :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        factories: Dict[int, Callable[[int], ShardProgram]],
+        config: ShardConfig,
+        budget: Optional[RunBudget] = None,
+        profile_dir: Optional[str] = None,
+    ) -> None:
+        if not factories:
+            raise SimulationError("ShardCoordinator needs at least one shard")
+        self.factories = dict(sorted(factories.items()))
+        self.config = config
+        self.budget = budget if budget is not None and not budget.unbounded \
+            else None
+        self.profile_dir = profile_dir
+        self.rounds = 0
+        self.events_total = 0
+        self.result: Optional[ShardRunResult] = None
+
+    def shard_profile_paths(self) -> Dict[int, str]:
+        if self.profile_dir is None:
+            return {}
+        return {
+            sid: os.path.join(self.profile_dir, f"shard{sid}.pstats")
+            for sid in self.factories
+        }
+
+    def run(self, until: float, seed: int = 0) -> ShardRunResult:
+        """Run every shard to ``until`` (inclusive, like ``Simulator.run``)."""
+        lookahead = self.config.boundary_delay_s
+        budget = self.budget
+        if budget is not None and budget.max_sim_time is not None:
+            until = min(until, budget.max_sim_time)
+        profile_paths = self.shard_profile_paths()
+        handles: Dict[int, Any] = {}
+        wall_start = _time.monotonic()
+        try:
+            for sid, factory in self.factories.items():
+                if self.config.processes:
+                    handles[sid] = _ProcessHandle(
+                        sid, factory, self.config, seed,
+                        profile_paths.get(sid))
+                else:
+                    handles[sid] = _InlineHandle(sid, factory, self.config,
+                                                 seed)
+            next_times = {sid: h.initial_peek() for sid, h in handles.items()}
+            inflight: Dict[int, List[ShardMessage]] = {}
+            pendings = {sid: 0 for sid in handles}
+            while True:
+                floor = min(next_times.values(), default=_INF)
+                for batch in inflight.values():
+                    for msg in batch:
+                        if msg.time < floor:
+                            floor = msg.time
+                if floor == _INF or floor > until:
+                    break
+                # Inclusive only when no message can land at <= until:
+                # every message posted this window is stamped
+                # >= floor + lookahead.
+                inclusive = floor + lookahead > until
+                horizon = min(floor + lookahead, until)
+                for sid, handle in handles.items():
+                    batch = inflight.pop(sid, [])
+                    handle.start_window(horizon, batch, inclusive)
+                for sid, handle in handles.items():
+                    _, next_time, outbox, delta, pending = handle.collect()
+                    next_times[sid] = next_time
+                    pendings[sid] = pending
+                    self.events_total += delta
+                    for msg in outbox:
+                        if msg.dst_shard not in handles:
+                            raise SimulationError(
+                                f"shard {sid} posted to unknown shard "
+                                f"{msg.dst_shard}"
+                            )
+                        inflight.setdefault(msg.dst_shard, []).append(msg)
+                self.rounds += 1
+                if budget is not None:
+                    self._check_budget(budget, floor, pendings, wall_start)
+            metrics: Dict[int, Dict[str, Any]] = {}
+            spans: List[Dict[str, Any]] = []
+            for sid, handle in handles.items():
+                _, shard_metrics, shard_spans = handle.finish()
+                metrics[sid] = shard_metrics
+                for span in shard_spans:
+                    span["shard"] = sid
+                    spans.append(span)
+            spans.sort(key=lambda s: (s["start"], s["shard"], s["span_id"]))
+            self.result = ShardRunResult(
+                now=until,
+                rounds=self.rounds,
+                events_total=self.events_total,
+                metrics=metrics,
+                spans=spans,
+                wall_s=_time.monotonic() - wall_start,
+            )
+            return self.result
+        finally:
+            for handle in handles.values():
+                handle.close()
+
+    def _check_budget(self, budget: RunBudget, floor: float,
+                      pendings: Dict[int, int], wall_start: float) -> None:
+        wall = _time.monotonic() - wall_start
+        reason = None
+        if budget.max_events is not None \
+                and self.events_total >= budget.max_events:
+            reason, limit = "events", f"{budget.max_events} events"
+        elif budget.max_wall_s is not None and wall > budget.max_wall_s:
+            reason, limit = "wall_clock", f"{budget.max_wall_s}s wall clock"
+        if reason is None:
+            return
+        snapshot = BudgetSnapshot(
+            reason=reason,
+            now=floor,
+            events_executed=self.events_total,
+            wall_elapsed_s=wall,
+            pending_count=sum(pendings.values()),
+        )
+        raise SimBudgetExceeded(
+            f"sharded simulation exceeded its run budget ({limit}) "
+            f"after {self.rounds} sync rounds\n{snapshot.describe()}",
+            snapshot,
+        )
+
+    def write_merged_trace(self, path: str) -> str:
+        """Export every shard's spans as one shard-tagged JSONL file."""
+        from repro.trace.export import write_span_dicts_jsonl
+
+        if self.result is None:
+            raise SimulationError("run() before write_merged_trace()")
+        return write_span_dicts_jsonl(self.result.spans, path)
+
+
+def merge_profiles(paths: List[str], out_path: str) -> Optional[str]:
+    """Merge per-shard pstats dumps into one file (None if none exist).
+
+    The parent's own profile (when present) should be included in
+    ``paths`` -- the merged output is what ``--profile`` hands to
+    ``pstats`` / snakeviz, covering coordinator and workers alike.
+    """
+    existing = [p for p in paths if p and os.path.exists(p)]
+    if not existing:
+        return None
+    stats = pstats.Stats(existing[0])
+    for path in existing[1:]:
+        stats.add(path)
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    stats.dump_stats(out_path)
+    return out_path

@@ -91,3 +91,69 @@ class TestCommands:
         first = capsys.readouterr().out
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+
+class TestScaleCommand:
+    """The ``scale`` benchmark command, sharded and not."""
+
+    @pytest.fixture(autouse=True)
+    def _short_workload(self, monkeypatch):
+        # The real benchmark simulates 120 s; trim it so CLI-level tests
+        # stay cheap while exercising the identical code path.
+        import repro.campaign.scenarios as scenarios
+
+        monkeypatch.setattr(scenarios, "WARMUP_S", 2.0)
+        monkeypatch.setattr(scenarios, "SETTLE_S", 2.0)
+        monkeypatch.setattr(scenarios, "MEASURE_S", 2.0)
+
+    def test_unknown_scale_rejected(self, capsys):
+        assert main(["scale", "--nodes", "57"]) == 2
+        assert "unknown scale" in capsys.readouterr().err
+
+    def test_unsharded_scale_runs(self, capsys):
+        assert main(["scale", "--nodes", "56", "--pairs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "wall_s" in out
+
+    def test_sharded_scale_runs(self, capsys):
+        assert main(["scale", "--nodes", "56", "--shards", "2",
+                     "--pairs", "2", "--inline"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out and "shards" in out
+
+    def test_profile_merges_shard_worker_stats(self, tmp_path, capsys):
+        """Regression: --profile on a sharded run must include the forked
+        workers' frames, not just the parent coordinator's.  Worker
+        processes profile themselves and the dumps are merged into one
+        pstats file."""
+        import pstats
+
+        out_path = tmp_path / "merged.pstats"
+        assert main(["scale", "--nodes", "56", "--shards", "2",
+                     "--pairs", "2", "--profile", str(out_path)]) == 0
+        err = capsys.readouterr().err
+        assert "shard workers merged" in err
+        stats = pstats.Stats(str(out_path))
+        names = {
+            f"{filename.rsplit('/', 1)[-1]}:{func}"
+            for (filename, _, func) in stats.stats
+        }
+        # Worker-side: the per-window kernel driver runs only in workers.
+        assert any(n.startswith("shard.py:window") for n in names), names
+        # Parent-side: the coordinator's round loop.
+        assert any(n.startswith("shard.py:run") for n in names)
+        # No stray parent-dump tempfile left behind.
+        assert not (tmp_path / "merged.pstats.parent").exists()
+
+    def test_trace_out_writes_shard_tagged_spans(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["scale", "--nodes", "56", "--shards", "2",
+                     "--pairs", "2", "--inline",
+                     "--trace-out", str(trace_path)]) == 0
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        shards = {json.loads(line)["shard"] for line in lines}
+        assert shards <= {0, 1, 2}
+        assert len(shards) > 1

@@ -147,6 +147,30 @@ class TestMain:
         assert cb.main(["--baseline", str(baseline),
                         "--current", str(current)]) == 2
 
+    def test_main_gates_multiple_scales(self, tmp_path, capsys):
+        """Repeatable --scale: one regressed scale fails the whole gate."""
+        baseline = _bench_file(tmp_path, "base.json", {
+            "224": BASE_224,
+            "3456": {"wall_s": 12.0, "setup_wall_s": 100.0},
+        })
+        current = _bench_file(tmp_path, "cur.json", {
+            "224": {"wall_s": 5.0, "setup_wall_s": 2.5},
+            "3456": {"wall_s": 14.0, "setup_wall_s": 110.0},
+        })
+        argv = ["--baseline", str(baseline), "--current", str(current),
+                "--scale", "224", "--scale", "3456", "--tolerance", "2.0"]
+        assert cb.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "224-node wall_s" in out and "3456-node wall_s" in out
+
+        regressed = _bench_file(tmp_path, "bad.json", {
+            "224": {"wall_s": 5.0, "setup_wall_s": 2.5},
+            "3456": {"wall_s": 30.0, "setup_wall_s": 110.0},
+        })
+        argv[3] = str(regressed)
+        assert cb.main(argv) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
     def test_main_missing_key_is_usage_error(self, tmp_path):
         baseline = _bench_file(tmp_path, "base.json", {"224": BASE_224})
         current = _bench_file(tmp_path, "cur.json",

@@ -1,0 +1,373 @@
+"""The sharded kernel: partitioner, conservative sync, RPC, benchmark.
+
+Covers the pieces bottom-up: fat-tree partitioning invariants, the
+coordinator's window protocol (inline and forked engines), cross-shard
+message ordering, budget enforcement, the control-plane RPC router, and
+the end-to-end sharded benchmark program.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import PiCloudConfig, ShardConfig
+from repro.errors import (
+    ManagementError,
+    PiCloudError,
+    SimBudgetExceeded,
+    SimulationError,
+)
+from repro.mgmt.shard_rpc import ShardRpcRouter
+from repro.netsim.partition import (
+    CONTROL_SHARD,
+    partition_fat_tree,
+)
+from repro.netsim.topology import fat_tree
+from repro.sim.budget import RunBudget
+from repro.sim.kernel import Simulator
+from repro.sim.shard import (
+    ShardContext,
+    ShardCoordinator,
+    ShardProgram,
+    merge_profiles,
+)
+
+
+class TestShardConfig:
+    def test_defaults(self):
+        config = ShardConfig()
+        assert config.shards == 1
+        assert config.boundary_delay_s > 0
+        assert config.processes is True
+
+    def test_validation(self):
+        with pytest.raises(PiCloudError):
+            ShardConfig(shards=0)
+        with pytest.raises(PiCloudError):
+            ShardConfig(boundary_delay_s=0.0)
+        with pytest.raises(PiCloudError):
+            ShardConfig(channel_capacity=0)
+
+    def test_cloud_config_requires_fat_tree_for_sharding(self):
+        with pytest.raises(PiCloudError):
+            PiCloudConfig(shard=ShardConfig(shards=2))
+        config = PiCloudConfig(
+            num_racks=2, pis_per_rack=8,
+            topology="fat-tree", fat_tree_k=4,
+            shard=ShardConfig(shards=2),
+        )
+        assert config.shard.shards == 2
+        with pytest.raises(PiCloudError):
+            PiCloudConfig(num_racks=2, pis_per_rack=8,
+                          topology="fat-tree", fat_tree_k=4,
+                          shard=ShardConfig(shards=8))
+
+
+class TestPartition:
+    def test_every_pod_maps_to_exactly_one_shard(self):
+        topo = fat_tree(4)
+        part = partition_fat_tree(topo, 2, k=4)
+        assert sorted(part.pod_shard) == [0, 1, 2, 3]
+        assert set(part.pod_shard.values()) == {1, 2}
+        for host in topo.hosts():
+            assert part.shard_of(host) in (1, 2)
+
+    def test_cores_belong_to_no_shard(self):
+        topo = fat_tree(4)
+        part = partition_fat_tree(topo, 2, k=4)
+        cores = [n for n in topo.graph.nodes if n.startswith("core")]
+        assert cores
+        for core in cores:
+            assert part.shard_of(core) is None
+
+    def test_sub_topologies_cover_every_link_once(self):
+        """Each non-core-incident link lands in exactly one sub-topology;
+        agg-core links land in exactly one pod's (their agg's)."""
+        topo = fat_tree(4)
+        part = partition_fat_tree(topo, 4, k=4)
+        seen = {}
+        for sid in part.shard_ids():
+            sub = part.sub_topology(sid)
+            for a, b, _ in sub.edges():
+                seen.setdefault(frozenset((a, b)), []).append(sid)
+        all_edges = {frozenset((a, b)) for a, b, _ in topo.edges()}
+        assert set(seen) == all_edges
+        for edge, owners in seen.items():
+            assert len(owners) == 1, f"{sorted(edge)} owned by {owners}"
+
+    def test_sub_topology_validates_and_connects(self):
+        topo = fat_tree(4)
+        part = partition_fat_tree(topo, 2, k=4)
+        for sid in part.shard_ids():
+            sub = part.sub_topology(sid)
+            sub.validate()  # raises if disconnected or malformed
+
+    def test_split_path_cuts_at_the_core(self):
+        topo = fat_tree(4)
+        part = partition_fat_tree(topo, 4, k=4)
+        # Find two hosts in different pods and a core-crossing path.
+        hosts = sorted(topo.hosts())
+        by_shard = {}
+        for host in hosts:
+            by_shard.setdefault(part.shard_of(host), host)
+        (s1, h1), (s2, h2) = sorted(by_shard.items())[:2]
+        import networkx as nx
+
+        path = nx.shortest_path(topo.graph, h1, h2)
+        segments = part.split_path(path)
+        assert len(segments) == 2
+        (up_shard, up), (down_shard, down) = segments
+        assert (up_shard, down_shard) == (s1, s2)
+        assert up[0] == h1 and down[-1] == h2
+        assert up[-1] == down[0] and up[-1].startswith("core")
+
+    def test_split_path_intra_pod_is_one_segment(self):
+        topo = fat_tree(4)
+        part = partition_fat_tree(topo, 4, k=4)
+        hosts = sorted(topo.hosts())
+        same = {}
+        for host in hosts:
+            same.setdefault(part.shard_of(host), []).append(host)
+        shard, (h1, h2, *_) = next(
+            (s, hs) for s, hs in sorted(same.items()) if len(hs) >= 2
+        )
+        import networkx as nx
+
+        path = nx.shortest_path(topo.graph, h1, h2)
+        segments = part.split_path(path)
+        assert len(segments) == 1
+        assert segments[0][0] == shard
+
+    def test_too_many_shards_rejected(self):
+        topo = fat_tree(4)
+        with pytest.raises(PiCloudError):
+            partition_fat_tree(topo, 5, k=4)
+
+
+class _Ping(ShardProgram):
+    """Minimal two-shard program: shard 1 pings, shard 2 pongs."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.log = []
+
+    def build(self, ctx: ShardContext) -> None:
+        self.ctx = ctx
+        self.sim = Simulator()
+        if self.shard_id == 1:
+            self.sim.schedule(0.0, self._ping)
+
+    def _ping(self) -> None:
+        self.ctx.post(2, {"n": 1})
+
+    def on_message(self, payload) -> None:
+        self.log.append((self.sim.now, payload))
+        if payload["n"] < 4:
+            self.ctx.post(2 if self.shard_id == 1 else 1,
+                          {"n": payload["n"] + 1})
+
+    def finalize(self):
+        return {"log": self.log, "events": self.sim.events_executed}
+
+
+@pytest.mark.parametrize("processes", [False, True])
+class TestCoordinator:
+    def test_ping_pong_alternates_with_boundary_delay(self, processes):
+        config = ShardConfig(shards=2, processes=processes,
+                             boundary_delay_s=0.5)
+        coord = ShardCoordinator(
+            {1: lambda sid: _Ping(1), 2: lambda sid: _Ping(2)}, config
+        )
+        result = coord.run(10.0)
+        log1 = result.metrics[1]["log"]
+        log2 = result.metrics[2]["log"]
+        # Messages land exactly one boundary delay apart, alternating.
+        assert [t for t, _ in log2] == [0.5, 1.5]
+        assert [t for t, _ in log1] == [1.0, 2.0]
+        assert [p["n"] for t, p in log2] == [1, 3]
+        assert [p["n"] for t, p in log1] == [2, 4]
+        assert result.rounds > 0
+
+    def test_unknown_destination_raises(self, processes):
+        class Bad(_Ping):
+            def _ping(self):
+                self.ctx.post(9, {"n": 1})
+
+        config = ShardConfig(shards=2, processes=processes)
+        coord = ShardCoordinator({1: lambda sid: Bad(1)}, config)
+        with pytest.raises(SimulationError, match="unknown shard"):
+            coord.run(1.0)
+
+    def test_event_budget_trips(self, processes):
+        class Busy(ShardProgram):
+            def build(self, ctx):
+                self.sim = Simulator()
+                self.sim.schedule(0.0, self._tick)
+
+            def _tick(self):
+                self.sim.schedule(0.001, self._tick)
+
+        config = ShardConfig(shards=1, processes=processes)
+        coord = ShardCoordinator(
+            {1: lambda sid: Busy()}, config,
+            budget=RunBudget(max_events=50),
+        )
+        with pytest.raises(SimBudgetExceeded) as excinfo:
+            coord.run(1000.0)
+        assert excinfo.value.snapshot.reason == "events"
+
+
+class TestContextRules:
+    def test_short_delay_rejected(self):
+        class Short(_Ping):
+            def _ping(self):
+                self.ctx.post(2, {"n": 1}, delay=0.001)
+
+        config = ShardConfig(shards=2, processes=False,
+                             boundary_delay_s=0.05)
+        coord = ShardCoordinator(
+            {1: lambda sid: Short(1), 2: lambda sid: _Ping(2)}, config
+        )
+        with pytest.raises(SimulationError, match="below the lookahead"):
+            coord.run(1.0)
+
+    def test_program_without_simulator_rejected(self):
+        class NoSim(ShardProgram):
+            def build(self, ctx):
+                pass
+
+        config = ShardConfig(shards=1, processes=False)
+        coord = ShardCoordinator({1: lambda sid: NoSim()}, config)
+        with pytest.raises(SimulationError, match="did not create"):
+            coord.run(1.0)
+
+
+class TestWorkerError:
+    def test_worker_exception_surfaces_with_traceback(self):
+        class Boom(ShardProgram):
+            def build(self, ctx):
+                self.sim = Simulator()
+                self.sim.schedule(0.0, self._boom)
+
+            def _boom(self):
+                raise RuntimeError("shard exploded")
+
+        config = ShardConfig(shards=1, processes=True)
+        coord = ShardCoordinator({1: lambda sid: Boom()}, config)
+        with pytest.raises(SimulationError, match="shard exploded"):
+            coord.run(1.0)
+
+
+class _RpcCtx:
+    """A fake ShardContext wired straight to a peer router (no kernel)."""
+
+    def __init__(self, shard_id):
+        self.shard_id = shard_id
+        self.peer = None
+
+    def post(self, dst_shard, payload, priority=0, delay=None):
+        self.peer.dispatch(payload)
+
+
+class TestShardRpc:
+    def _pair(self):
+        ctx_a, ctx_b = _RpcCtx(0), _RpcCtx(1)
+        a = ShardRpcRouter(ctx_a)
+        b = ShardRpcRouter(ctx_b, handlers={
+            "echo": lambda params: {"got": params["x"]},
+        })
+        ctx_a.peer, ctx_b.peer = b, a
+        return a, b
+
+    def test_call_reply_roundtrip(self):
+        a, b = self._pair()
+        replies = []
+        a.call(1, "echo", {"x": 42}, on_reply=replies.append)
+        assert replies == [{"got": 42}]
+        assert a.calls_sent == 1 and b.calls_served == 1
+
+    def test_unknown_method_raises(self):
+        a, b = self._pair()
+        with pytest.raises(ManagementError, match="no rpc handler"):
+            a.call(1, "nope", {})
+
+    def test_duplicate_registration_rejected(self):
+        _, b = self._pair()
+        with pytest.raises(ManagementError, match="already registered"):
+            b.register("echo", lambda params: None)
+
+    def test_non_rpc_payload_passes_through(self):
+        a, _ = self._pair()
+        assert a.dispatch({"kind": "flow_open"}) is False
+        assert a.dispatch("not a dict") is False
+
+
+class TestMergeProfiles:
+    def test_empty_input_returns_none(self, tmp_path):
+        out = tmp_path / "merged.pstats"
+        assert merge_profiles([], str(out)) is None
+        assert merge_profiles([str(tmp_path / "missing")], str(out)) is None
+        assert not out.exists()
+
+    def test_merges_existing_dumps(self, tmp_path):
+        import cProfile
+        import pstats
+
+        paths = []
+        for i, fn in enumerate((math.sqrt, math.log)):
+            profiler = cProfile.Profile()
+            profiler.enable()
+            for n in range(1, 200):
+                fn(n)
+            profiler.disable()
+            path = tmp_path / f"part{i}.pstats"
+            profiler.dump_stats(str(path))
+            paths.append(str(path))
+        out = tmp_path / "merged.pstats"
+        assert merge_profiles(paths, str(out)) == str(out)
+        names = {func[2] for func in pstats.Stats(str(out)).stats}
+        assert any("sqrt" in name for name in names)
+        assert any("log" in name for name in names)
+
+
+class TestShardedBenchmark:
+    def test_end_to_end_counts_and_shape(self):
+        from repro.netsim.sharded import ShardedWorkload, run_sharded_fat_tree
+
+        workload = ShardedWorkload(warmup_s=1.0, measure_s=3.0,
+                                   poll_interval_s=2.0)
+        result = run_sharded_fat_tree(
+            k=4, hosts=16, shards=4, pairs=6, seed=3,
+            workload=workload,
+            shard_config=ShardConfig(shards=4, processes=False),
+        )
+        assert result["shards"] == 4
+        assert result["rounds"] > 0
+        assert result["events"] > 0
+        assert result["flows_started"] > 0
+        # Every e2e completion is backed by completed half-flows.
+        assert 0 < result["completed_e2e"] <= result["flows_completed"]
+        control = result["control"]
+        assert control["rpcs_sent"] >= 4          # one start per pod shard
+        assert sum(control["sources_started"].values()) == 6
+
+    def test_cross_pod_pairs_split_into_halves(self):
+        from repro.netsim.sharded import (
+            ShardedWorkload,
+            plan_pairs,
+            run_sharded_fat_tree,
+        )
+        from repro.netsim.partition import partition_fat_tree
+        from repro.netsim.topology import fat_tree as build_tree
+
+        topo = build_tree(4, hosts=[f"h{i}" for i in range(16)])
+        part = partition_fat_tree(topo, 4, k=4)
+        plans = plan_pairs(part, [("h0", "h15"), ("h0", "h1")])
+        cross = [p for p in plans if p.cross]
+        intra = [p for p in plans if not p.cross]
+        assert len(cross) == 1 and len(intra) == 1
+        assert cross[0].uphill[-1] == cross[0].downhill[0]
+        assert cross[0].uphill[-1].startswith("core")
+
+    def test_control_shard_is_zero(self):
+        assert CONTROL_SHARD == 0
